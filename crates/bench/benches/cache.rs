@@ -1,0 +1,66 @@
+//! Micro-benchmark of the cache designs (supports Table 5 / Exp-6): hit-path
+//! read throughput of LRBU versus the copy/lock/LRU variants under a
+//! realistic skewed access pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use huge_cache::{CacheKind, PullCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn prepare(kind: CacheKind, entries: u32, degree: usize) -> Box<dyn PullCache> {
+    let cache = kind.build(64 << 20);
+    for v in 0..entries {
+        cache.insert(v, (0..degree as u32).map(|i| i * 7 + v).collect());
+    }
+    cache
+}
+
+fn bench_cache_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_read");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let entries = 10_000u32;
+    // Zipf-ish access pattern: low ids are hot.
+    let mut rng = StdRng::seed_from_u64(7);
+    let accesses: Vec<u32> = (0..20_000)
+        .map(|_| {
+            let r: f64 = rng.gen::<f64>();
+            ((r * r * entries as f64) as u32).min(entries - 1)
+        })
+        .collect();
+    for kind in CacheKind::ALL {
+        let cache = prepare(kind, entries, 32);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &cache, |b, cache| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &v in &accesses {
+                    cache.read(v, &mut |nbrs| acc += nbrs[0] as u64);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_insert_evict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_insert_evict");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in [CacheKind::Lrbu, CacheKind::ConcurrentLru] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let cache = kind.build(256 * 1024);
+                for v in 0..5_000u32 {
+                    cache.insert(v, vec![v; 16]);
+                }
+                cache.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_reads, bench_cache_insert_evict);
+criterion_main!(benches);

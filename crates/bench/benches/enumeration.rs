@@ -1,0 +1,46 @@
+//! End-to-end enumeration benchmark: HUGE versus the BiGJoin and SEED
+//! baselines on a small power-law graph (the shape behind Table 1 and
+//! Fig. 6, at micro-benchmark scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use huge_baselines::Baseline;
+use huge_core::{ClusterConfig, HugeCluster, SinkMode};
+use huge_graph::gen;
+use huge_query::Pattern;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let graph = gen::barabasi_albert(3_000, 6, 5);
+    let config = ClusterConfig::new(2).workers(2);
+    let cluster = HugeCluster::build(graph.clone(), config.clone()).unwrap();
+
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for pattern in [Pattern::Square, Pattern::FourClique] {
+        let query = pattern.query_graph();
+        group.bench_with_input(
+            BenchmarkId::new("HUGE", pattern.name()),
+            &query,
+            |b, q| b.iter(|| cluster.run(q, SinkMode::Count).unwrap().matches),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("BiGJoin", pattern.name()),
+            &query,
+            |b, q| {
+                b.iter(|| {
+                    Baseline::BigJoin
+                        .run(&graph, q, &config)
+                        .unwrap()
+                        .matches
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("SEED", pattern.name()), &query, |b, q| {
+            b.iter(|| Baseline::Seed.run(&graph, q, &config).unwrap().matches)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Micro-benchmark of the multiway intersection kernel that powers
+//! `PULL-EXTEND` (Equation 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use huge_graph::graph::{intersect_many, intersect_sorted};
+
+fn sorted_list(len: usize, stride: u32, offset: u32) -> Vec<u32> {
+    (0..len as u32).map(|i| i * stride + offset).collect()
+}
+
+fn bench_pairwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect_pairwise");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for len in [64usize, 1024, 16 * 1024] {
+        let a = sorted_list(len, 3, 0);
+        let b = sorted_list(len, 5, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |bencher, _| {
+            bencher.iter(|| intersect_sorted(&a, &b).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiway(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect_multiway");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for ways in [2usize, 3, 4] {
+        let lists: Vec<Vec<u32>> = (0..ways)
+            .map(|w| sorted_list(8 * 1024, (w + 2) as u32, 0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(ways), &ways, |bencher, _| {
+            bencher.iter(|| {
+                let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+                intersect_many(refs).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairwise, bench_multiway);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Planning-time benchmark: Algorithm 1 over every paper query (the
+//! optimiser must stay negligible next to enumeration itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use huge_graph::gen;
+use huge_plan::cost::{CostModel, HybridEstimator};
+use huge_plan::optimizer::Optimizer;
+use huge_query::Pattern;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let graph = gen::barabasi_albert(5_000, 8, 3);
+    let estimator = HybridEstimator::from_graph(&graph);
+    let model = CostModel::new(10, graph.num_edges()).with_avg_degree(graph.avg_degree());
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (i, pattern) in Pattern::PAPER_QUERIES.iter().enumerate() {
+        let query = pattern.query_graph();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("q{}", i + 1)),
+            &query,
+            |b, q| {
+                b.iter(|| {
+                    Optimizer::new(&estimator, model.clone())
+                        .optimize(q)
+                        .unwrap()
+                        .estimated_cost
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! The cache interface shared by every design.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use huge_graph::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// Counters reported by every cache implementation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Reads that found the vertex in the cache.
+    pub hits: u64,
+    /// Reads (or containment checks preceding a fetch) that missed.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Inserts performed while the cache was full and nothing was
+    /// replaceable (the bounded overflow the LRBU analysis allows).
+    pub overflow_inserts: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all recorded lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Internal atomic counters (shared by the implementations in this crate).
+#[derive(Debug, Default)]
+pub(crate) struct AtomicCacheStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub inserts: AtomicU64,
+    pub evictions: AtomicU64,
+    pub overflow_inserts: AtomicU64,
+}
+
+impl AtomicCacheStats {
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            overflow_inserts: self.overflow_inserts.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The interface the `PULL-EXTEND` operator programs against.
+///
+/// The method set mirrors Algorithm 3: `Get`/`Contains` are the read-side
+/// (expressed here as [`PullCache::read`] with a callback so zero-copy
+/// implementations can hand out borrowed slices), `Insert` adds a fetched
+/// adjacency list, and `Seal`/`Release` bracket the vertices used by the
+/// batch currently being processed so they cannot be evicted mid-intersect.
+/// Designs that have no seal concept (plain LRUs) implement them as no-ops.
+pub trait PullCache: Send + Sync {
+    /// `true` if the vertex's adjacency list is cached.
+    fn contains(&self, v: VertexId) -> bool;
+
+    /// Reads the cached adjacency list of `v`, invoking `f` with the data.
+    /// Returns `false` (without invoking `f`) when `v` is not cached.
+    fn read(&self, v: VertexId, f: &mut dyn FnMut(&[VertexId])) -> bool;
+
+    /// Inserts the adjacency list of `v` (fetched from its owner).
+    fn insert(&self, v: VertexId, neighbours: Vec<VertexId>);
+
+    /// Protects `v` from eviction until the next [`PullCache::release`].
+    fn seal(&self, v: VertexId);
+
+    /// Makes every sealed vertex evictable again, marking them as the most
+    /// recently used batch.
+    fn release(&self);
+
+    /// Current number of cached entries.
+    fn len(&self) -> usize;
+
+    /// `true` when no entries are cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes of cached adjacency data.
+    fn size_bytes(&self) -> u64;
+
+    /// Capacity in bytes (`u64::MAX` for unbounded designs).
+    fn capacity_bytes(&self) -> u64;
+
+    /// Counter snapshot.
+    fn stats(&self) -> CacheStats;
+
+    /// Removes every entry (used between experiment runs).
+    fn clear(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_math() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn atomic_stats_snapshot() {
+        let s = AtomicCacheStats::default();
+        s.hit();
+        s.hit();
+        s.miss();
+        let snap = s.snapshot();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.misses, 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Fixed-arity row batches.
+//!
+//! Every operator in HUGE processes data in *batches* (§4.2): a batch of
+//! partial matches is the minimum scheduling and communication unit. A
+//! partial match is a compact array of data-vertex ids (one per bound query
+//! vertex), so a batch of `n` rows of arity `a` is a flat `Vec<u32>` of
+//! length `n · a` — cache friendly and cheap to ship.
+
+use huge_graph::VertexId;
+
+/// A batch of fixed-arity rows of data-vertex ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RowBatch {
+    arity: usize,
+    data: Vec<VertexId>,
+}
+
+impl RowBatch {
+    /// Creates an empty batch of the given arity.
+    pub fn new(arity: usize) -> Self {
+        assert!(arity > 0, "rows must bind at least one query vertex");
+        RowBatch {
+            arity,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an empty batch with space reserved for `rows` rows.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        assert!(arity > 0);
+        RowBatch {
+            arity,
+            data: Vec::with_capacity(arity * rows),
+        }
+    }
+
+    /// Builds a batch from a flat data vector (`data.len()` must be a
+    /// multiple of `arity`).
+    pub fn from_flat(arity: usize, data: Vec<VertexId>) -> Self {
+        assert!(arity > 0);
+        assert_eq!(data.len() % arity, 0, "flat data not a multiple of arity");
+        RowBatch { arity, data }
+    }
+
+    /// Number of columns per row.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.arity
+    }
+
+    /// `true` when the batch holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != arity`.
+    #[inline]
+    pub fn push_row(&mut self, row: &[VertexId]) {
+        debug_assert_eq!(row.len(), self.arity);
+        self.data.extend_from_slice(row);
+    }
+
+    /// Appends a row made of an existing row plus one extra column (the
+    /// common case in `PULL-EXTEND`).
+    #[inline]
+    pub fn push_extended(&mut self, row: &[VertexId], extra: VertexId) {
+        debug_assert_eq!(row.len() + 1, self.arity);
+        self.data.extend_from_slice(row);
+        self.data.push(extra);
+    }
+
+    /// The `i`-th row.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[VertexId] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterates over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[VertexId]> {
+        self.data.chunks_exact(self.arity)
+    }
+
+    /// Moves all rows of `other` into `self`.
+    ///
+    /// # Panics
+    /// Panics if arities differ.
+    pub fn append(&mut self, other: &mut RowBatch) {
+        assert_eq!(self.arity, other.arity, "cannot append mismatched arity");
+        self.data.append(&mut other.data);
+    }
+
+    /// Splits off the last `rows` rows into a new batch (used by work
+    /// stealing to hand half a deque entry to another worker).
+    pub fn split_off_back(&mut self, rows: usize) -> RowBatch {
+        let rows = rows.min(self.len());
+        let at = self.data.len() - rows * self.arity;
+        let tail = self.data.split_off(at);
+        RowBatch {
+            arity: self.arity,
+            data: tail,
+        }
+    }
+
+    /// Splits this batch into chunks of at most `rows_per_chunk` rows.
+    pub fn split_into_chunks(self, rows_per_chunk: usize) -> Vec<RowBatch> {
+        assert!(rows_per_chunk > 0);
+        if self.len() <= rows_per_chunk {
+            return vec![self];
+        }
+        let arity = self.arity;
+        self.data
+            .chunks(rows_per_chunk * arity)
+            .map(|c| RowBatch::from_flat(arity, c.to_vec()))
+            .collect()
+    }
+
+    /// The serialized size in bytes (what the network model charges).
+    #[inline]
+    pub fn byte_size(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<VertexId>()) as u64
+    }
+
+    /// The flat underlying data.
+    pub fn as_flat(&self) -> &[VertexId] {
+        &self.data
+    }
+
+    /// Consumes the batch, returning the flat data.
+    pub fn into_flat(self) -> Vec<VertexId> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut b = RowBatch::new(3);
+        b.push_row(&[1, 2, 3]);
+        b.push_row(&[4, 5, 6]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.row(1), &[4, 5, 6]);
+        assert_eq!(b.rows().count(), 2);
+        assert_eq!(b.byte_size(), 24);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn push_extended() {
+        let mut b = RowBatch::new(3);
+        b.push_extended(&[7, 8], 9);
+        assert_eq!(b.row(0), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn append_and_split() {
+        let mut a = RowBatch::from_flat(2, vec![1, 2, 3, 4, 5, 6]);
+        let mut b = RowBatch::from_flat(2, vec![7, 8]);
+        a.append(&mut b);
+        assert_eq!(a.len(), 4);
+        assert!(b.is_empty());
+        let tail = a.split_off_back(2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail.row(0), &[5, 6]);
+        assert_eq!(tail.row(1), &[7, 8]);
+    }
+
+    #[test]
+    fn split_into_chunks() {
+        let b = RowBatch::from_flat(2, (0..20).collect());
+        let chunks = b.split_into_chunks(3);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0].len(), 3);
+        assert_eq!(chunks[3].len(), 1);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn split_off_more_than_len_takes_everything() {
+        let mut b = RowBatch::from_flat(1, vec![1, 2, 3]);
+        let tail = b.split_off_back(10);
+        assert_eq!(tail.len(), 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of arity")]
+    fn from_flat_checks_arity() {
+        RowBatch::from_flat(3, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched arity")]
+    fn append_checks_arity() {
+        let mut a = RowBatch::new(2);
+        let mut b = RowBatch::new(3);
+        a.append(&mut b);
+    }
+}

@@ -1,0 +1,197 @@
+//! The router: pushing communication between machines.
+//!
+//! The paper's router "pushes data to other machines. It manages TCP streams
+//! connected to remote machines, with a queue for each connection" (§4.1).
+//! Here every pair of machines is connected by an unbounded channel carrying
+//! [`RowBatch`]es tagged with the destination segment (the operator whose
+//! inbound channel the data belongs to); the byte volume of every pushed
+//! batch is recorded against the sending machine.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use crate::batch::RowBatch;
+use crate::stats::ClusterStats;
+use crate::MachineId;
+
+/// A pushed message: a batch of partial results destined for a segment's
+/// inbound channel on some machine.
+#[derive(Clone, Debug)]
+pub struct PushEnvelope {
+    /// Sending machine.
+    pub from: MachineId,
+    /// Dataflow segment (operator) the batch belongs to.
+    pub segment: usize,
+    /// The rows.
+    pub batch: RowBatch,
+}
+
+/// The cluster-wide router: one inbox per machine.
+pub struct Router {
+    senders: Vec<Sender<PushEnvelope>>,
+    receivers: Vec<Receiver<PushEnvelope>>,
+    stats: ClusterStats,
+}
+
+impl Router {
+    /// Creates a router for `k` machines sharing the given statistics.
+    pub fn new(k: usize, stats: ClusterStats) -> Self {
+        let mut senders = Vec::with_capacity(k);
+        let mut receivers = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        Router {
+            senders,
+            receivers,
+            stats,
+        }
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Creates the endpoint owned by machine `m`.
+    pub fn endpoint(&self, m: MachineId) -> RouterEndpoint {
+        RouterEndpoint {
+            machine: m,
+            senders: self.senders.clone(),
+            inbox: self.receivers[m].clone(),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+/// One machine's view of the router: it can push batches to any machine and
+/// drain its own inbox.
+#[derive(Clone)]
+pub struct RouterEndpoint {
+    machine: MachineId,
+    senders: Vec<Sender<PushEnvelope>>,
+    inbox: Receiver<PushEnvelope>,
+    stats: ClusterStats,
+}
+
+impl RouterEndpoint {
+    /// The machine owning this endpoint.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// Number of machines reachable through the router.
+    pub fn num_machines(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Pushes a batch to `to`, charging its bytes to this machine unless the
+    /// destination is local (local hand-offs are free, as in the paper).
+    pub fn push(&self, to: MachineId, segment: usize, batch: RowBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        if to != self.machine {
+            self.stats.machine(self.machine).record_push(batch.byte_size());
+        }
+        // The receiver can only disappear when the destination machine has
+        // already terminated, in which case the data is no longer needed.
+        let _ = self.senders[to].send(PushEnvelope {
+            from: self.machine,
+            segment,
+            batch,
+        });
+    }
+
+    /// Non-blocking receive of the next pushed batch, if any.
+    pub fn try_recv(&self) -> Option<PushEnvelope> {
+        match self.inbox.try_recv() {
+            Ok(env) => Some(env),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Drains every batch currently queued in the inbox.
+    pub fn drain(&self) -> Vec<PushEnvelope> {
+        let mut out = Vec::new();
+        while let Some(env) = self.try_recv() {
+            out.push(env);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(vals: &[u32]) -> RowBatch {
+        RowBatch::from_flat(1, vals.to_vec())
+    }
+
+    #[test]
+    fn push_and_receive() {
+        let stats = ClusterStats::new(2);
+        let router = Router::new(2, stats.clone());
+        let a = router.endpoint(0);
+        let b = router.endpoint(1);
+        a.push(1, 7, batch(&[1, 2, 3]));
+        let got = b.try_recv().unwrap();
+        assert_eq!(got.from, 0);
+        assert_eq!(got.segment, 7);
+        assert_eq!(got.batch.len(), 3);
+        assert_eq!(stats.machine(0).snapshot().bytes_pushed, 12);
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn local_pushes_are_free() {
+        let stats = ClusterStats::new(2);
+        let router = Router::new(2, stats.clone());
+        let a = router.endpoint(0);
+        a.push(0, 1, batch(&[9]));
+        assert_eq!(stats.total().bytes_pushed, 0);
+        assert_eq!(a.drain().len(), 1);
+    }
+
+    #[test]
+    fn empty_batches_are_dropped() {
+        let stats = ClusterStats::new(2);
+        let router = Router::new(2, stats.clone());
+        let a = router.endpoint(0);
+        a.push(1, 0, RowBatch::new(2));
+        assert!(router.endpoint(1).try_recv().is_none());
+    }
+
+    #[test]
+    fn drain_collects_everything() {
+        let stats = ClusterStats::new(3);
+        let router = Router::new(3, stats);
+        let a = router.endpoint(0);
+        let c = router.endpoint(2);
+        for i in 0..5 {
+            a.push(2, i, batch(&[i as u32]));
+        }
+        assert_eq!(c.drain().len(), 5);
+        assert!(c.drain().is_empty());
+    }
+
+    #[test]
+    fn concurrent_pushes_are_all_delivered() {
+        let stats = ClusterStats::new(4);
+        let router = Router::new(4, stats);
+        let target = router.endpoint(3);
+        std::thread::scope(|s| {
+            for m in 0..3 {
+                let ep = router.endpoint(m);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        ep.push(3, 0, batch(&[i]));
+                    }
+                });
+            }
+        });
+        assert_eq!(target.drain().len(), 300);
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-machine and cluster-wide traffic accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Traffic counters of one machine. All counters are monotonically
+/// increasing and safe to update from any worker thread.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Bytes of intermediate results pushed to other machines.
+    pub bytes_pushed: AtomicU64,
+    /// Bytes of adjacency lists pulled from other machines.
+    pub bytes_pulled: AtomicU64,
+    /// Number of pushed batches.
+    pub push_messages: AtomicU64,
+    /// Number of `GetNbrs` RPC round trips issued by this machine.
+    pub rpc_requests: AtomicU64,
+    /// Number of remote vertices whose adjacency lists were fetched.
+    pub vertices_fetched: AtomicU64,
+    /// Bytes of partial results moved by inter-machine work stealing.
+    pub bytes_stolen: AtomicU64,
+    /// Number of successful inter-machine steal operations.
+    pub steals: AtomicU64,
+}
+
+impl CommStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a pushed batch of `bytes` bytes.
+    pub fn record_push(&self, bytes: u64) {
+        self.bytes_pushed.fetch_add(bytes, Ordering::Relaxed);
+        self.push_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `GetNbrs` round trip that fetched `vertices` adjacency
+    /// lists totalling `bytes` bytes.
+    pub fn record_pull(&self, vertices: u64, bytes: u64) {
+        self.bytes_pulled.fetch_add(bytes, Ordering::Relaxed);
+        self.rpc_requests.fetch_add(1, Ordering::Relaxed);
+        self.vertices_fetched.fetch_add(vertices, Ordering::Relaxed);
+    }
+
+    /// Records an inter-machine steal of `bytes` bytes.
+    pub fn record_steal(&self, bytes: u64) {
+        self.bytes_stolen.fetch_add(bytes, Ordering::Relaxed);
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> CommSnapshot {
+        CommSnapshot {
+            bytes_pushed: self.bytes_pushed.load(Ordering::Relaxed),
+            bytes_pulled: self.bytes_pulled.load(Ordering::Relaxed),
+            push_messages: self.push_messages.load(Ordering::Relaxed),
+            rpc_requests: self.rpc_requests.load(Ordering::Relaxed),
+            vertices_fetched: self.vertices_fetched.load(Ordering::Relaxed),
+            bytes_stolen: self.bytes_stolen.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`CommStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommSnapshot {
+    /// Bytes of intermediate results pushed to other machines.
+    pub bytes_pushed: u64,
+    /// Bytes of adjacency lists pulled from other machines.
+    pub bytes_pulled: u64,
+    /// Number of pushed batches.
+    pub push_messages: u64,
+    /// Number of `GetNbrs` round trips.
+    pub rpc_requests: u64,
+    /// Number of remote adjacency lists fetched.
+    pub vertices_fetched: u64,
+    /// Bytes moved by inter-machine work stealing.
+    pub bytes_stolen: u64,
+    /// Number of steals.
+    pub steals: u64,
+}
+
+impl CommSnapshot {
+    /// Total bytes that crossed the (simulated) network.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_pushed + self.bytes_pulled + self.bytes_stolen
+    }
+
+    /// Total number of messages (pushes + RPC round trips + steals).
+    pub fn total_messages(&self) -> u64 {
+        self.push_messages + self.rpc_requests + self.steals
+    }
+
+    /// Element-wise sum of two snapshots.
+    pub fn merge(&self, other: &CommSnapshot) -> CommSnapshot {
+        CommSnapshot {
+            bytes_pushed: self.bytes_pushed + other.bytes_pushed,
+            bytes_pulled: self.bytes_pulled + other.bytes_pulled,
+            push_messages: self.push_messages + other.push_messages,
+            rpc_requests: self.rpc_requests + other.rpc_requests,
+            vertices_fetched: self.vertices_fetched + other.vertices_fetched,
+            bytes_stolen: self.bytes_stolen + other.bytes_stolen,
+            steals: self.steals + other.steals,
+        }
+    }
+}
+
+/// Shared per-machine counters for a whole cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterStats {
+    machines: Arc<Vec<CommStats>>,
+}
+
+impl ClusterStats {
+    /// Creates counters for `k` machines.
+    pub fn new(k: usize) -> Self {
+        ClusterStats {
+            machines: Arc::new((0..k).map(|_| CommStats::new()).collect()),
+        }
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// The counters of one machine.
+    pub fn machine(&self, m: usize) -> &CommStats {
+        &self.machines[m]
+    }
+
+    /// Per-machine snapshots.
+    pub fn snapshots(&self) -> Vec<CommSnapshot> {
+        self.machines.iter().map(|m| m.snapshot()).collect()
+    }
+
+    /// Cluster-wide aggregated snapshot.
+    pub fn total(&self) -> CommSnapshot {
+        self.snapshots()
+            .iter()
+            .fold(CommSnapshot::default(), |acc, s| acc.merge(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = CommStats::new();
+        stats.record_push(100);
+        stats.record_push(50);
+        stats.record_pull(3, 300);
+        stats.record_steal(10);
+        let s = stats.snapshot();
+        assert_eq!(s.bytes_pushed, 150);
+        assert_eq!(s.push_messages, 2);
+        assert_eq!(s.bytes_pulled, 300);
+        assert_eq!(s.vertices_fetched, 3);
+        assert_eq!(s.rpc_requests, 1);
+        assert_eq!(s.total_bytes(), 460);
+        assert_eq!(s.total_messages(), 4);
+    }
+
+    #[test]
+    fn cluster_totals_merge_machines() {
+        let cluster = ClusterStats::new(3);
+        cluster.machine(0).record_push(10);
+        cluster.machine(1).record_pull(1, 20);
+        cluster.machine(2).record_push(30);
+        let total = cluster.total();
+        assert_eq!(total.bytes_pushed, 40);
+        assert_eq!(total.bytes_pulled, 20);
+        assert_eq!(cluster.snapshots().len(), 3);
+        assert_eq!(cluster.num_machines(), 3);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let cluster = ClusterStats::new(1);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = cluster.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.machine(0).record_push(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(cluster.total().bytes_pushed, 4000);
+    }
+}

@@ -1,0 +1,359 @@
+//! The public entry point: [`HugeCluster`].
+
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
+
+use huge_comm::stats::ClusterStats;
+use huge_comm::{Router, RpcFabric};
+use huge_graph::{Graph, GraphStats, Partitioner};
+use huge_plan::baselines::{plug_into_huge, BaselineSystem};
+use huge_plan::cost::{CostModel, HybridEstimator};
+use huge_plan::logical::ExecutionPlan;
+use huge_plan::optimizer::{Optimizer, OptimizerOptions};
+use huge_plan::translate::{translate, Dataflow, SegmentSource};
+use huge_query::QueryGraph;
+
+use crate::config::{ClusterConfig, SinkMode};
+use crate::machine::{MachineState, SegmentPlan, SharedSegmentState, Terminal};
+use crate::memory::ClusterMemory;
+use crate::operators::ScanPool;
+use crate::report::{merge_cache_stats, RunReport};
+use crate::scheduler::SegmentQueues;
+use crate::{EngineError, Result};
+
+/// Size (in vertices) of the stealable scan chunks.
+const SCAN_CHUNK_VERTICES: usize = 1024;
+
+/// A simulated HUGE cluster bound to one data graph.
+///
+/// Build it once per graph; every call to [`HugeCluster::run`] (or its
+/// variants) executes one query and returns a [`RunReport`] with the
+/// measurements the paper reports (T, T_R, T_C, C, M, cache statistics,
+/// per-machine break-downs).
+pub struct HugeCluster {
+    config: ClusterConfig,
+    partitions: Arc<Vec<huge_graph::GraphPartition>>,
+    stats: GraphStats,
+    estimator: HybridEstimator,
+}
+
+impl HugeCluster {
+    /// Partitions `graph` over the configured number of machines and
+    /// prepares the cluster.
+    pub fn build(graph: Graph, config: ClusterConfig) -> Result<Self> {
+        config.validate().map_err(EngineError::Config)?;
+        let stats = GraphStats::of_cheap(&graph);
+        let estimator = HybridEstimator::from_graph(&graph);
+        let partitions = Partitioner::new(config.machines)?.partition(graph);
+        Ok(HugeCluster {
+            config,
+            partitions: Arc::new(partitions),
+            stats,
+            estimator,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Summary statistics of the data graph.
+    pub fn graph_stats(&self) -> &GraphStats {
+        &self.stats
+    }
+
+    /// The cost model used by the optimiser for this cluster.
+    pub fn cost_model(&self) -> CostModel {
+        CostModel::new(self.config.machines, self.stats.num_edges)
+            .with_avg_degree(self.stats.avg_degree)
+    }
+
+    /// Computes HUGE's optimal execution plan (Algorithm 1) for `query`.
+    pub fn plan(&self, query: &QueryGraph) -> Result<ExecutionPlan> {
+        Ok(Optimizer::new(&self.estimator, self.cost_model()).optimize(query)?)
+    }
+
+    /// Computes a plan with custom optimiser options (used by ablations).
+    pub fn plan_with_options(
+        &self,
+        query: &QueryGraph,
+        options: OptimizerOptions,
+    ) -> Result<ExecutionPlan> {
+        Ok(Optimizer::new(&self.estimator, self.cost_model())
+            .with_options(options)
+            .optimize(query)?)
+    }
+
+    /// Plans and runs `query`, counting (and optionally collecting) matches.
+    pub fn run(&self, query: &QueryGraph, sink: SinkMode) -> Result<RunReport> {
+        let plan = self.plan(query)?;
+        self.run_with_plan(&plan, sink)
+    }
+
+    /// Runs a baseline system's *logical* plan on the HUGE engine after
+    /// re-configuring its physical settings by Equation 3 (the paper's
+    /// HUGE-BENU / HUGE-RADS / HUGE-SEED / HUGE-WCO variants of Exp-1).
+    pub fn run_plugged_baseline(
+        &self,
+        system: BaselineSystem,
+        query: &QueryGraph,
+        sink: SinkMode,
+    ) -> Result<RunReport> {
+        let plan = plug_into_huge(system, query)?;
+        self.run_with_plan(&plan, sink)
+    }
+
+    /// Runs an already-computed execution plan.
+    pub fn run_with_plan(&self, plan: &ExecutionPlan, sink: SinkMode) -> Result<RunReport> {
+        let dataflow = translate(plan)?;
+        self.run_dataflow(&dataflow, sink)
+    }
+
+    /// Executes a translated dataflow.
+    pub fn run_dataflow(&self, dataflow: &Dataflow, sink: SinkMode) -> Result<RunReport> {
+        let k = self.config.machines;
+        let comm_stats = ClusterStats::new(k);
+        let router = Router::new(k, comm_stats.clone());
+        let rpc = RpcFabric::new(Arc::clone(&self.partitions), comm_stats.clone());
+        let memory = ClusterMemory::new(k);
+        let cache_bytes = self.config.effective_cache_bytes(self.stats.csr_bytes);
+        let spill_root = spill_dir();
+
+        // Per-machine state, persisted across segments.
+        let mut machines: Vec<MachineState> = (0..k)
+            .map(|m| {
+                MachineState::new(
+                    m,
+                    self.partitions[m].clone(),
+                    self.config.cache_kind.build(cache_bytes),
+                    router.endpoint(m),
+                    rpc.clone(),
+                    Arc::new(crate::memory::MemoryTracker::new()),
+                    self.config.clone(),
+                    spill_root.join(format!("machine-{m}")),
+                )
+            })
+            .collect();
+
+        // Work out each segment's terminal and (for joins) producer arities.
+        let segment_plans = build_segment_plans(dataflow);
+
+        let start = Instant::now();
+        for plan in &segment_plans {
+            // Cross-machine shared state for this segment.
+            let scan_pools: Vec<ScanPool> = (0..k)
+                .map(|m| match &plan.segment.source {
+                    SegmentSource::Scan(_) => ScanPool::new(
+                        self.partitions[m].local_vertices(),
+                        SCAN_CHUNK_VERTICES,
+                    ),
+                    SegmentSource::Join(_) => ScanPool::empty(),
+                })
+                .collect();
+            let num_ops = 1 + plan.segment.extends.len();
+            let queues: Vec<Arc<SegmentQueues>> = (0..k)
+                .map(|m| {
+                    Arc::new(SegmentQueues::new(
+                        num_ops,
+                        self.config.output_queue_rows.max(1),
+                        Some(Arc::clone(&machines[m].memory)),
+                    ))
+                })
+                .collect();
+            let shared = SharedSegmentState {
+                scan_pools,
+                queues,
+                idle: (0..k).map(|_| AtomicBool::new(false)).collect(),
+            };
+
+            let mut outcome: Vec<Result<()>> = Vec::with_capacity(k);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(k);
+                for state in machines.iter_mut() {
+                    let shared = &shared;
+                    let plan = plan;
+                    handles.push(scope.spawn(move || state.run_segment(plan, shared, sink)));
+                }
+                for handle in handles {
+                    outcome.push(match handle.join() {
+                        Ok(res) => res,
+                        Err(_) => Err(EngineError::WorkerPanic(
+                            "machine thread panicked".to_string(),
+                        )),
+                    });
+                }
+            });
+            for res in outcome {
+                res?;
+            }
+        }
+        let compute_time = start.elapsed();
+        let _ = std::fs::remove_dir_all(&spill_root);
+
+        // Aggregate the report.
+        let comm_total = comm_stats.total();
+        let comm_time = self.config.network.time_for_snapshot(&comm_total);
+        let machine_reports: Vec<_> = machines.iter().map(|m| m.report()).collect();
+        let matches = machine_reports.iter().map(|m| m.matches).sum();
+        let mut samples: Vec<Vec<u32>> = Vec::new();
+        if let SinkMode::Collect(limit) = sink {
+            for m in &machines {
+                for s in &m.samples {
+                    if samples.len() >= limit {
+                        break;
+                    }
+                    samples.push(s.clone());
+                }
+            }
+        }
+        let cache = merge_cache_stats(machines.iter().map(|m| m.cache.stats()));
+        let fetch_time = machines
+            .iter()
+            .map(|m| m.fetch_time)
+            .max()
+            .unwrap_or_default();
+        let peak_memory_bytes = memory
+            .peak()
+            .max(machines.iter().map(|m| m.memory.peak()).max().unwrap_or(0));
+
+        Ok(RunReport {
+            query: dataflow.query.name().to_string(),
+            matches,
+            sample_matches: samples,
+            compute_time,
+            comm_time,
+            comm_bytes: comm_total.total_bytes(),
+            comm: comm_total,
+            peak_memory_bytes,
+            cache,
+            fetch_time,
+            machines: machine_reports,
+        })
+    }
+}
+
+/// Derives every segment's terminal role and producer arities.
+fn build_segment_plans(dataflow: &Dataflow) -> Vec<SegmentPlan> {
+    let root_id = dataflow.root().id;
+    dataflow
+        .segments
+        .iter()
+        .map(|segment| {
+            let terminal = if segment.id == root_id {
+                Terminal::Sink
+            } else {
+                // Find the join that consumes this segment.
+                let consumer = dataflow
+                    .segments
+                    .iter()
+                    .find_map(|candidate| match &candidate.source {
+                        SegmentSource::Join(j) if j.left == segment.id => {
+                            Some((candidate.id, j.key_left.clone()))
+                        }
+                        SegmentSource::Join(j) if j.right == segment.id => {
+                            Some((candidate.id, j.key_right.clone()))
+                        }
+                        _ => None,
+                    })
+                    .expect("non-root segments feed exactly one join");
+                Terminal::FeedJoin {
+                    consumer: consumer.0,
+                    key_positions: consumer.1,
+                }
+            };
+            let producer_arities = match &segment.source {
+                SegmentSource::Scan(_) => None,
+                SegmentSource::Join(j) => Some((
+                    dataflow.segments[j.left].schema.len(),
+                    dataflow.segments[j.right].schema.len(),
+                )),
+            };
+            SegmentPlan {
+                segment: segment.clone(),
+                terminal,
+                producer_arities,
+            }
+        })
+        .collect()
+}
+
+fn spill_dir() -> PathBuf {
+    let unique = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    std::env::temp_dir().join(format!("huge-spill-{}-{}", std::process::id(), unique))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use huge_graph::gen;
+    use huge_query::{naive, Pattern};
+
+    fn check_against_naive(graph: Graph, pattern: Pattern, config: ClusterConfig) {
+        let query = pattern.query_graph();
+        let expected = naive::enumerate(&graph, &query);
+        let cluster = HugeCluster::build(graph, config).unwrap();
+        let report = cluster.run(&query, SinkMode::Count).unwrap();
+        assert_eq!(report.matches, expected, "{pattern:?}");
+    }
+
+    #[test]
+    fn triangle_count_matches_reference() {
+        let g = gen::erdos_renyi(300, 1800, 7);
+        check_against_naive(g, Pattern::Triangle, ClusterConfig::new(3).workers(2));
+    }
+
+    #[test]
+    fn square_count_matches_reference() {
+        let g = gen::erdos_renyi(200, 900, 11);
+        check_against_naive(g, Pattern::Square, ClusterConfig::new(2).workers(2));
+    }
+
+    #[test]
+    fn four_clique_count_matches_reference() {
+        let g = gen::barabasi_albert(300, 8, 3);
+        check_against_naive(g, Pattern::FourClique, ClusterConfig::new(4).workers(1));
+    }
+
+    #[test]
+    fn single_machine_also_correct() {
+        let g = gen::caveman(10, 6, 5);
+        check_against_naive(g, Pattern::ChordalSquare, ClusterConfig::new(1).workers(1));
+    }
+
+    #[test]
+    fn collect_mode_returns_valid_matches() {
+        let g = gen::complete(7);
+        let query = Pattern::Triangle.query_graph();
+        let cluster = HugeCluster::build(g.clone(), ClusterConfig::new(2)).unwrap();
+        let report = cluster.run(&query, SinkMode::Collect(10)).unwrap();
+        assert_eq!(report.matches, 35);
+        assert!(!report.sample_matches.is_empty());
+        for m in &report.sample_matches {
+            assert_eq!(m.len(), 3);
+            // Every pair must be an edge of the data graph.
+            assert!(g.has_edge(m[0], m[1]));
+            assert!(g.has_edge(m[1], m[2]));
+            assert!(g.has_edge(m[0], m[2]));
+        }
+    }
+
+    #[test]
+    fn report_contains_traffic_and_memory() {
+        let g = gen::barabasi_albert(500, 6, 9);
+        let cluster = HugeCluster::build(g, ClusterConfig::new(4).workers(2)).unwrap();
+        let report = cluster
+            .run(&Pattern::Square.query_graph(), SinkMode::Count)
+            .unwrap();
+        assert!(report.matches > 0);
+        assert!(report.comm_bytes > 0, "pulling must be accounted");
+        assert!(report.peak_memory_bytes > 0);
+        assert!(report.total_time() >= report.compute_time);
+        assert_eq!(report.machines.len(), 4);
+    }
+}

@@ -1,0 +1,220 @@
+//! Engine configuration.
+
+use huge_cache::CacheKind;
+use huge_comm::NetworkModel;
+
+/// How the results of a run are consumed by the `SINK` operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SinkMode {
+    /// Count matches only (the default for benchmarks; mirrors the paper's
+    /// "decompress by counting to verify the results").
+    Count,
+    /// Count matches and additionally collect up to the given number of
+    /// complete matches (for verification and the examples).
+    Collect(usize),
+}
+
+/// Load-balancing strategy (Exp-8 compares all three).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadBalance {
+    /// Two-layer (intra- and inter-machine) work stealing — HUGE's default.
+    WorkStealing,
+    /// No stealing: load is distributed statically by the first matched
+    /// (pivot) vertex, as BENU does (the paper's HUGE-NOSTL).
+    None,
+    /// RADS' region-group heuristic: scan input is assigned to workers in
+    /// contiguous region groups (the paper's HUGE-RGP).
+    RegionGroup,
+}
+
+/// Configuration of a [`HugeCluster`](crate::HugeCluster).
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of simulated machines `k`.
+    pub machines: usize,
+    /// Worker threads per machine (the paper uses 4 in the local cluster).
+    pub workers_per_machine: usize,
+    /// Rows per batch — the minimum data processing unit (§4.2). The paper's
+    /// default is 512 K; the default here is smaller because the synthetic
+    /// graphs are smaller.
+    pub batch_size: usize,
+    /// Capacity of each operator's output queue in rows (§5.2). `usize::MAX`
+    /// degenerates to pure BFS scheduling, `0` to pure DFS scheduling.
+    pub output_queue_rows: usize,
+    /// Cache capacity as a fraction of the data graph's CSR size (the paper
+    /// defaults to 30%). Ignored if `cache_capacity_bytes` is set.
+    pub cache_capacity_fraction: f64,
+    /// Absolute cache capacity in bytes (overrides the fraction when `Some`).
+    pub cache_capacity_bytes: Option<u64>,
+    /// Which cache design to use (Exp-6).
+    pub cache_kind: CacheKind,
+    /// Disable the cache entirely (Exp-4 runs with the cache off).
+    pub disable_cache: bool,
+    /// In-memory buffer per `PUSH-JOIN` side before spilling to disk, bytes.
+    pub join_buffer_bytes: u64,
+    /// Load-balancing strategy.
+    pub load_balance: LoadBalance,
+    /// Enable inter-machine work stealing (only meaningful with
+    /// [`LoadBalance::WorkStealing`]).
+    pub inter_machine_stealing: bool,
+    /// Network model used to convert recorded traffic into the reported
+    /// communication time `T_C`.
+    pub network: NetworkModel,
+}
+
+impl ClusterConfig {
+    /// A configuration with `machines` machines and sensible defaults.
+    pub fn new(machines: usize) -> Self {
+        ClusterConfig {
+            machines: machines.max(1),
+            workers_per_machine: 2,
+            batch_size: 8 * 1024,
+            output_queue_rows: 128 * 1024,
+            cache_capacity_fraction: 0.3,
+            cache_capacity_bytes: None,
+            cache_kind: CacheKind::Lrbu,
+            disable_cache: false,
+            join_buffer_bytes: 64 * 1024 * 1024,
+            load_balance: LoadBalance::WorkStealing,
+            inter_machine_stealing: true,
+            network: NetworkModel::ten_gbps(machines.max(1)),
+        }
+    }
+
+    /// Sets the number of worker threads per machine.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers_per_machine = workers.max(1);
+        self
+    }
+
+    /// Sets the batch size in rows.
+    pub fn batch_size(mut self, rows: usize) -> Self {
+        self.batch_size = rows.max(1);
+        self
+    }
+
+    /// Sets the output queue capacity in rows.
+    pub fn output_queue_rows(mut self, rows: usize) -> Self {
+        self.output_queue_rows = rows;
+        self
+    }
+
+    /// Sets the cache capacity as a fraction of the graph size.
+    pub fn cache_fraction(mut self, fraction: f64) -> Self {
+        self.cache_capacity_fraction = fraction.clamp(0.0, 10.0);
+        self.cache_capacity_bytes = None;
+        self
+    }
+
+    /// Sets an absolute cache capacity in bytes.
+    pub fn cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_capacity_bytes = Some(bytes);
+        self
+    }
+
+    /// Chooses the cache design.
+    pub fn cache_kind(mut self, kind: CacheKind) -> Self {
+        self.cache_kind = kind;
+        self
+    }
+
+    /// Disables the pull cache entirely.
+    pub fn no_cache(mut self) -> Self {
+        self.disable_cache = true;
+        self
+    }
+
+    /// Chooses the load-balancing strategy.
+    pub fn load_balance(mut self, lb: LoadBalance) -> Self {
+        self.load_balance = lb;
+        if lb != LoadBalance::WorkStealing {
+            self.inter_machine_stealing = false;
+        }
+        self
+    }
+
+    /// Sets the per-side `PUSH-JOIN` buffer threshold before disk spill.
+    pub fn join_buffer_bytes(mut self, bytes: u64) -> Self {
+        self.join_buffer_bytes = bytes.max(1024);
+        self
+    }
+
+    /// Overrides the network model.
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// The effective cache capacity for a graph of `graph_bytes` CSR bytes.
+    pub fn effective_cache_bytes(&self, graph_bytes: u64) -> u64 {
+        self.cache_capacity_bytes
+            .unwrap_or(((graph_bytes as f64) * self.cache_capacity_fraction) as u64)
+            .max(1024)
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.machines == 0 {
+            return Err("at least one machine is required".into());
+        }
+        if self.workers_per_machine == 0 {
+            return Err("at least one worker per machine is required".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch size must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::new(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(ClusterConfig::default().validate().is_ok());
+        assert!(ClusterConfig::new(10).validate().is_ok());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = ClusterConfig::new(3)
+            .workers(5)
+            .batch_size(100)
+            .output_queue_rows(1000)
+            .cache_fraction(0.5)
+            .cache_kind(CacheKind::ConcurrentLru)
+            .load_balance(LoadBalance::None)
+            .join_buffer_bytes(2048);
+        assert_eq!(cfg.machines, 3);
+        assert_eq!(cfg.workers_per_machine, 5);
+        assert_eq!(cfg.batch_size, 100);
+        assert_eq!(cfg.output_queue_rows, 1000);
+        assert!(!cfg.inter_machine_stealing);
+        assert_eq!(cfg.join_buffer_bytes, 2048);
+    }
+
+    #[test]
+    fn cache_capacity_resolution() {
+        let cfg = ClusterConfig::new(2).cache_fraction(0.5);
+        assert_eq!(cfg.effective_cache_bytes(10_000), 5_000);
+        let cfg = ClusterConfig::new(2).cache_bytes(12345);
+        assert_eq!(cfg.effective_cache_bytes(1000), 12345);
+        // Tiny fractions are clamped to a sane minimum.
+        let cfg = ClusterConfig::new(2).cache_fraction(0.0);
+        assert_eq!(cfg.effective_cache_bytes(1000), 1024);
+    }
+
+    #[test]
+    fn zero_machines_is_clamped() {
+        let cfg = ClusterConfig::new(0);
+        assert_eq!(cfg.machines, 1);
+    }
+}

@@ -1,0 +1,524 @@
+//! The `PUSH-JOIN` operator: a buffered, partitioned (Grace-style) hash join
+//! with disk spill (§4.3).
+//!
+//! Each side of the join is hash-partitioned by join key into a fixed number
+//! of partitions. A partition buffers rows in memory until the configured
+//! threshold, after which further rows are appended to a temporary file on
+//! disk. When both inputs are complete, partitions are processed one at a
+//! time: the corresponding left and right rows are loaded, an in-memory hash
+//! table is built over the smaller side and probed with the other, and the
+//! joined rows are emitted in batches. Memory is therefore bounded by the
+//! largest single partition plus one output batch, matching the paper's
+//! "memory consumption is bounded to the buffer size" claim.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+use huge_comm::RowBatch;
+use huge_graph::VertexId;
+use huge_plan::translate::JoinOp;
+
+use crate::memory::MemoryTracker;
+use crate::operators::passes_filters;
+use crate::Result;
+
+/// Number of Grace partitions per side.
+const NUM_PARTITIONS: usize = 16;
+
+/// Which input of the join a batch belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinSide {
+    /// The left input (its rows form the prefix of output rows).
+    Left,
+    /// The right input (only its non-key payload columns are appended).
+    Right,
+}
+
+/// Hashes the join-key columns of a row.
+pub fn key_hash(row: &[VertexId], key_positions: &[usize]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &pos in key_positions {
+        h ^= row[pos] as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+struct SidePartition {
+    rows_in_memory: Vec<VertexId>,
+    memory_bytes: u64,
+    spill_file: Option<PathBuf>,
+    spilled_values: u64,
+}
+
+impl SidePartition {
+    fn new() -> Self {
+        SidePartition {
+            rows_in_memory: Vec::new(),
+            memory_bytes: 0,
+            spill_file: None,
+            spilled_values: 0,
+        }
+    }
+}
+
+struct SideBuffer {
+    arity: usize,
+    key_positions: Vec<usize>,
+    partitions: Vec<SidePartition>,
+    buffered_bytes: u64,
+}
+
+impl SideBuffer {
+    fn new(arity: usize, key_positions: Vec<usize>) -> Self {
+        SideBuffer {
+            arity,
+            key_positions,
+            partitions: (0..NUM_PARTITIONS).map(|_| SidePartition::new()).collect(),
+            buffered_bytes: 0,
+        }
+    }
+}
+
+/// The buffered hash join of one machine.
+pub struct HashJoiner {
+    op: JoinOp,
+    left: SideBuffer,
+    right: SideBuffer,
+    spill_threshold_bytes: u64,
+    spill_dir: PathBuf,
+    spill_counter: usize,
+    memory: MemoryTrackerHandle,
+}
+
+/// A thin optional handle so the joiner can be used without a tracker in
+/// unit tests.
+#[derive(Clone)]
+pub enum MemoryTrackerHandle {
+    /// Track allocations against a machine's tracker.
+    Tracked(std::sync::Arc<MemoryTracker>),
+    /// Do not track.
+    Untracked,
+}
+
+impl MemoryTrackerHandle {
+    fn allocate(&self, bytes: u64) {
+        if let MemoryTrackerHandle::Tracked(t) = self {
+            t.allocate(bytes);
+        }
+    }
+    fn release(&self, bytes: u64) {
+        if let MemoryTrackerHandle::Tracked(t) = self {
+            t.release(bytes);
+        }
+    }
+}
+
+impl HashJoiner {
+    /// Creates a joiner for `op` whose inputs have the given arities.
+    pub fn new(
+        op: JoinOp,
+        left_arity: usize,
+        right_arity: usize,
+        spill_threshold_bytes: u64,
+        spill_dir: PathBuf,
+        memory: MemoryTrackerHandle,
+    ) -> Self {
+        let left = SideBuffer::new(left_arity, op.key_left.clone());
+        let right = SideBuffer::new(right_arity, op.key_right.clone());
+        HashJoiner {
+            op,
+            left,
+            right,
+            spill_threshold_bytes: spill_threshold_bytes.max(1024),
+            spill_dir,
+            spill_counter: 0,
+            memory,
+        }
+    }
+
+    /// Arity of the joined output rows.
+    pub fn output_arity(&self) -> usize {
+        self.left.arity + self.op.right_payload.len()
+    }
+
+    /// Adds an input batch to one side.
+    pub fn add(&mut self, side: JoinSide, batch: &RowBatch) -> Result<()> {
+        let spill_dir = self.spill_dir.clone();
+        let threshold = self.spill_threshold_bytes;
+        let (buffer, tag) = match side {
+            JoinSide::Left => (&mut self.left, "l"),
+            JoinSide::Right => (&mut self.right, "r"),
+        };
+        debug_assert_eq!(batch.arity(), buffer.arity);
+        for row in batch.rows() {
+            let p = (key_hash(row, &buffer.key_positions) as usize) % NUM_PARTITIONS;
+            let part = &mut buffer.partitions[p];
+            part.rows_in_memory.extend_from_slice(row);
+            let bytes = (row.len() * std::mem::size_of::<VertexId>()) as u64;
+            part.memory_bytes += bytes;
+            buffer.buffered_bytes += bytes;
+            self.memory.allocate(bytes);
+        }
+        // Spill the largest partitions while the buffer exceeds the threshold.
+        while buffer.buffered_bytes > threshold {
+            let victim = buffer
+                .partitions
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, p)| p.memory_bytes)
+                .map(|(i, _)| i)
+                .expect("partitions exist");
+            let part = &mut buffer.partitions[victim];
+            if part.rows_in_memory.is_empty() {
+                break;
+            }
+            let path = part.spill_file.clone().unwrap_or_else(|| {
+                self.spill_counter += 1;
+                let path = spill_dir.join(format!(
+                    "join-{tag}-{victim}-{}.spill",
+                    self.spill_counter
+                ));
+                part.spill_file = Some(path.clone());
+                path
+            });
+            std::fs::create_dir_all(&spill_dir)?;
+            let file = OpenOptions::new().create(true).append(true).open(&path)?;
+            let mut w = BufWriter::new(file);
+            for v in &part.rows_in_memory {
+                w.write_all(&v.to_le_bytes())?;
+            }
+            w.flush()?;
+            part.spilled_values += part.rows_in_memory.len() as u64;
+            buffer.buffered_bytes -= part.memory_bytes;
+            self.memory.release(part.memory_bytes);
+            part.memory_bytes = 0;
+            part.rows_in_memory.clear();
+        }
+        Ok(())
+    }
+
+    /// Total bytes currently buffered in memory (both sides).
+    pub fn buffered_bytes(&self) -> u64 {
+        self.left.buffered_bytes + self.right.buffered_bytes
+    }
+
+    /// `true` if any partition spilled to disk.
+    pub fn spilled(&self) -> bool {
+        self.left
+            .partitions
+            .iter()
+            .chain(self.right.partitions.iter())
+            .any(|p| p.spill_file.is_some())
+    }
+
+    /// Finishes the join: processes every partition and invokes `emit` with
+    /// output batches of at most `batch_rows` rows.
+    pub fn finish(mut self, batch_rows: usize, mut emit: impl FnMut(RowBatch)) -> Result<u64> {
+        let out_arity = self.output_arity();
+        let mut produced = 0u64;
+        for p in 0..NUM_PARTITIONS {
+            let left_rows = load_partition(&mut self.left, p, &self.memory)?;
+            if left_rows.is_empty() {
+                continue;
+            }
+            let right_rows = load_partition(&mut self.right, p, &self.memory)?;
+            if right_rows.is_empty() {
+                continue;
+            }
+            // Build on the right side, probe with the left (the left's
+            // columns form the output prefix either way).
+            let mut table: std::collections::HashMap<Vec<VertexId>, Vec<usize>> =
+                std::collections::HashMap::new();
+            for (idx, row) in right_rows.chunks_exact(self.right.arity).enumerate() {
+                let key: Vec<VertexId> =
+                    self.op.key_right.iter().map(|&pos| row[pos]).collect();
+                table.entry(key).or_default().push(idx);
+            }
+            let mut out = RowBatch::with_capacity(out_arity, batch_rows.min(64 * 1024));
+            for lrow in left_rows.chunks_exact(self.left.arity) {
+                let key: Vec<VertexId> = self.op.key_left.iter().map(|&pos| lrow[pos]).collect();
+                let Some(matches) = table.get(&key) else {
+                    continue;
+                };
+                for &ridx in matches {
+                    let rrow =
+                        &right_rows[ridx * self.right.arity..(ridx + 1) * self.right.arity];
+                    // Cross-side injectivity: appended payload vertices must
+                    // not collide with any left-bound vertex.
+                    let payload_ok = self
+                        .op
+                        .right_payload
+                        .iter()
+                        .all(|&pos| !lrow.contains(&rrow[pos]));
+                    if !payload_ok {
+                        continue;
+                    }
+                    let mut joined: Vec<VertexId> = Vec::with_capacity(out_arity);
+                    joined.extend_from_slice(lrow);
+                    for &pos in &self.op.right_payload {
+                        joined.push(rrow[pos]);
+                    }
+                    if !passes_filters(&joined, &self.op.filters) {
+                        continue;
+                    }
+                    out.push_row(&joined);
+                    produced += 1;
+                    if out.len() >= batch_rows {
+                        emit(std::mem::replace(
+                            &mut out,
+                            RowBatch::with_capacity(out_arity, batch_rows.min(64 * 1024)),
+                        ));
+                    }
+                }
+            }
+            if !out.is_empty() {
+                emit(out);
+            }
+        }
+        self.cleanup();
+        Ok(produced)
+    }
+
+    fn cleanup(&mut self) {
+        for part in self
+            .left
+            .partitions
+            .iter()
+            .chain(self.right.partitions.iter())
+        {
+            if let Some(path) = &part.spill_file {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        self.memory.release(self.left.buffered_bytes + self.right.buffered_bytes);
+        self.left.buffered_bytes = 0;
+        self.right.buffered_bytes = 0;
+    }
+}
+
+impl Drop for HashJoiner {
+    fn drop(&mut self) {
+        for part in self
+            .left
+            .partitions
+            .iter()
+            .chain(self.right.partitions.iter())
+        {
+            if let Some(path) = &part.spill_file {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+}
+
+/// Loads one partition of one side back into memory (in-memory rows plus any
+/// spilled rows).
+fn load_partition(
+    side: &mut SideBuffer,
+    p: usize,
+    memory: &MemoryTrackerHandle,
+) -> Result<Vec<VertexId>> {
+    let part = &mut side.partitions[p];
+    let mut rows = std::mem::take(&mut part.rows_in_memory);
+    side.buffered_bytes -= part.memory_bytes;
+    memory.release(part.memory_bytes);
+    part.memory_bytes = 0;
+    if let Some(path) = &part.spill_file {
+        let file = File::open(path)?;
+        let mut reader = BufReader::new(file);
+        let mut buf = [0u8; 4];
+        let mut from_disk = Vec::with_capacity(part.spilled_values as usize);
+        while reader.read_exact(&mut buf).is_ok() {
+            from_disk.push(VertexId::from_le_bytes(buf));
+        }
+        rows.extend(from_disk);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use huge_plan::translate::OrderFilter;
+
+    fn spill_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("huge-join-test-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        dir
+    }
+
+    fn simple_op() -> JoinOp {
+        // Left schema: [a, b]; right schema: [a, c]; join on column 0 = a,
+        // output [a, b, c].
+        JoinOp {
+            left: 0,
+            right: 1,
+            key_left: vec![0],
+            key_right: vec![0],
+            right_payload: vec![1],
+            filters: vec![],
+        }
+    }
+
+    fn batch2(rows: &[[u32; 2]]) -> RowBatch {
+        let mut b = RowBatch::new(2);
+        for r in rows {
+            b.push_row(r);
+        }
+        b
+    }
+
+    #[test]
+    fn joins_matching_keys() {
+        let mut joiner = HashJoiner::new(
+            simple_op(),
+            2,
+            2,
+            1 << 20,
+            spill_dir(),
+            MemoryTrackerHandle::Untracked,
+        );
+        joiner
+            .add(JoinSide::Left, &batch2(&[[1, 10], [2, 20], [3, 30]]))
+            .unwrap();
+        joiner
+            .add(JoinSide::Right, &batch2(&[[1, 100], [1, 101], [3, 300], [4, 400]]))
+            .unwrap();
+        let mut rows: Vec<Vec<u32>> = Vec::new();
+        let produced = joiner
+            .finish(1024, |b| rows.extend(b.rows().map(|r| r.to_vec())))
+            .unwrap();
+        assert_eq!(produced, 3);
+        rows.sort();
+        assert_eq!(rows, vec![vec![1, 10, 100], vec![1, 10, 101], vec![3, 30, 300]]);
+    }
+
+    #[test]
+    fn cross_side_injectivity_is_enforced() {
+        let mut joiner = HashJoiner::new(
+            simple_op(),
+            2,
+            2,
+            1 << 20,
+            spill_dir(),
+            MemoryTrackerHandle::Untracked,
+        );
+        // Right payload value 10 collides with the left's bound vertex 10.
+        joiner.add(JoinSide::Left, &batch2(&[[1, 10]])).unwrap();
+        joiner
+            .add(JoinSide::Right, &batch2(&[[1, 10], [1, 11]]))
+            .unwrap();
+        let mut count = 0;
+        joiner.finish(16, |b| count += b.len()).unwrap();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn order_filters_apply_to_joined_rows() {
+        let mut op = simple_op();
+        // Require output[1] < output[2], i.e. b < c.
+        op.filters = vec![OrderFilter { smaller: 1, larger: 2 }];
+        let mut joiner = HashJoiner::new(
+            op,
+            2,
+            2,
+            1 << 20,
+            spill_dir(),
+            MemoryTrackerHandle::Untracked,
+        );
+        joiner.add(JoinSide::Left, &batch2(&[[1, 50]])).unwrap();
+        joiner
+            .add(JoinSide::Right, &batch2(&[[1, 10], [1, 90]]))
+            .unwrap();
+        let mut rows = Vec::new();
+        joiner
+            .finish(16, |b| rows.extend(b.rows().map(|r| r.to_vec())))
+            .unwrap();
+        assert_eq!(rows, vec![vec![1, 50, 90]]);
+    }
+
+    #[test]
+    fn spilling_preserves_results() {
+        // A tiny threshold forces every partition to spill.
+        let mut joiner = HashJoiner::new(
+            simple_op(),
+            2,
+            2,
+            1024,
+            spill_dir(),
+            MemoryTrackerHandle::Untracked,
+        );
+        let n = 2000u32;
+        let left: Vec<[u32; 2]> = (0..n).map(|i| [i, i + 10_000]).collect();
+        let right: Vec<[u32; 2]> = (0..n).map(|i| [i, i + 20_000]).collect();
+        for chunk in left.chunks(100) {
+            joiner.add(JoinSide::Left, &batch2(chunk)).unwrap();
+        }
+        for chunk in right.chunks(100) {
+            joiner.add(JoinSide::Right, &batch2(chunk)).unwrap();
+        }
+        assert!(joiner.spilled());
+        assert!(joiner.buffered_bytes() <= 4 * 1024);
+        let mut count = 0u64;
+        let produced = joiner.finish(256, |b| count += b.len() as u64).unwrap();
+        assert_eq!(produced, n as u64);
+        assert_eq!(count, n as u64);
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        // Left schema [a, b, x]; right schema [a, b, y]; join on (a, b).
+        let op = JoinOp {
+            left: 0,
+            right: 1,
+            key_left: vec![0, 1],
+            key_right: vec![0, 1],
+            right_payload: vec![2],
+            filters: vec![],
+        };
+        let mut joiner = HashJoiner::new(
+            op,
+            3,
+            3,
+            1 << 20,
+            spill_dir(),
+            MemoryTrackerHandle::Untracked,
+        );
+        let mut l = RowBatch::new(3);
+        l.push_row(&[1, 2, 7]);
+        l.push_row(&[1, 3, 8]);
+        let mut r = RowBatch::new(3);
+        r.push_row(&[1, 2, 9]);
+        r.push_row(&[2, 2, 9]);
+        joiner.add(JoinSide::Left, &l).unwrap();
+        joiner.add(JoinSide::Right, &r).unwrap();
+        let mut rows = Vec::new();
+        joiner
+            .finish(16, |b| rows.extend(b.rows().map(|x| x.to_vec())))
+            .unwrap();
+        assert_eq!(rows, vec![vec![1, 2, 7, 9]]);
+    }
+
+    #[test]
+    fn memory_tracking_is_released_after_finish() {
+        let tracker = std::sync::Arc::new(MemoryTracker::new());
+        let mut joiner = HashJoiner::new(
+            simple_op(),
+            2,
+            2,
+            1 << 20,
+            spill_dir(),
+            MemoryTrackerHandle::Tracked(std::sync::Arc::clone(&tracker)),
+        );
+        joiner
+            .add(JoinSide::Left, &batch2(&[[1, 2], [3, 4]]))
+            .unwrap();
+        joiner.add(JoinSide::Right, &batch2(&[[1, 5]])).unwrap();
+        assert!(tracker.current() > 0);
+        joiner.finish(16, |_| {}).unwrap();
+        assert_eq!(tracker.current(), 0);
+        assert!(tracker.peak() > 0);
+    }
+}

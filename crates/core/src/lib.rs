@@ -1,0 +1,100 @@
+//! The HUGE compute engine: a pushing/pulling-hybrid, bounded-memory,
+//! work-stealing subgraph enumeration runtime (§4–§5 of the paper).
+//!
+//! # Architecture
+//!
+//! A [`HugeCluster`] simulates a shared-nothing cluster of `k` machines
+//! inside one process. Each machine is a thread-hosted
+//! [`machine::MachineState`] owning
+//!
+//! * a hash partition of the data graph,
+//! * a worker pool with intra-machine work stealing,
+//! * an [LRBU cache](huge_cache::LrbuCache) for pulled adjacency lists,
+//! * a router endpoint (pushing) and an RPC handle (pulling) from
+//!   `huge-comm`, and
+//! * a BFS/DFS-adaptive scheduler with fixed-capacity output queues.
+//!
+//! A query is planned by `huge-plan` (Algorithm 1), translated into a
+//! dataflow of `SCAN` / `PULL-EXTEND` / `PUSH-JOIN` / `SINK` operators
+//! (Algorithm 2), and executed segment by segment: `PULL-EXTEND` chains run
+//! under the adaptive scheduler with bounded queues (Algorithm 5), while
+//! `PUSH-JOIN` shuffles its inputs through the router and joins them with a
+//! Grace-style partitioned hash join that spills to disk beyond a
+//! configurable buffer (§4.3).
+//!
+//! # Quick start
+//!
+//! ```
+//! use huge_core::{ClusterConfig, HugeCluster, SinkMode};
+//! use huge_graph::gen;
+//! use huge_query::QueryGraph;
+//!
+//! let graph = gen::erdos_renyi(500, 2500, 42);
+//! let cluster = HugeCluster::build(graph, ClusterConfig::new(2)).unwrap();
+//! let report = cluster.run(&QueryGraph::triangle(), SinkMode::Count).unwrap();
+//! assert!(report.matches > 0);
+//! ```
+
+pub mod cluster;
+pub mod config;
+pub mod join;
+pub mod machine;
+pub mod memory;
+pub mod operators;
+pub mod pool;
+pub mod report;
+pub mod scheduler;
+
+pub use cluster::HugeCluster;
+pub use config::{ClusterConfig, LoadBalance, SinkMode};
+pub use report::{MachineReport, RunReport};
+
+/// Errors surfaced by the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Planning failed.
+    Plan(huge_plan::logical::PlanError),
+    /// The graph could not be partitioned.
+    Graph(huge_graph::GraphError),
+    /// The configuration is invalid.
+    Config(String),
+    /// A worker thread panicked.
+    WorkerPanic(String),
+    /// Spilling to disk failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Plan(e) => write!(f, "planning error: {e}"),
+            EngineError::Graph(e) => write!(f, "graph error: {e}"),
+            EngineError::Config(msg) => write!(f, "configuration error: {msg}"),
+            EngineError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            EngineError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<huge_plan::logical::PlanError> for EngineError {
+    fn from(e: huge_plan::logical::PlanError) -> Self {
+        EngineError::Plan(e)
+    }
+}
+
+impl From<huge_graph::GraphError> for EngineError {
+    fn from(e: huge_graph::GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,445 @@
+//! The per-machine runtime: segment execution under the BFS/DFS-adaptive
+//! scheduler, the segment terminals (`SINK` and the `PUSH-JOIN` shuffle), and
+//! inter-machine work stealing.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use huge_cache::PullCache;
+use huge_comm::router::PushEnvelope;
+use huge_comm::{MachineId, RouterEndpoint, RowBatch, RpcFabric};
+use huge_graph::GraphPartition;
+use huge_plan::translate::{Segment, SegmentSource};
+use huge_query::QueryVertex;
+use std::sync::Arc;
+
+use crate::config::{ClusterConfig, SinkMode};
+use crate::join::{HashJoiner, JoinSide, MemoryTrackerHandle};
+use crate::memory::MemoryTracker;
+use crate::operators::{run_extend, OpContext, ScanCursor, ScanPool};
+use crate::pool::WorkerPool;
+use crate::report::MachineReport;
+use crate::scheduler::SegmentQueues;
+use crate::Result;
+
+/// What happens to a segment's output rows.
+#[derive(Clone, Debug)]
+pub enum Terminal {
+    /// Root segment: count (and optionally collect) complete matches.
+    Sink,
+    /// Shuffle the rows to the machines responsible for the join keys, as
+    /// input to a later `PUSH-JOIN` segment.
+    FeedJoin {
+        /// The consuming join segment's id (used to tag router envelopes).
+        consumer: usize,
+        /// Positions of the join-key columns in this segment's schema.
+        key_positions: Vec<usize>,
+    },
+}
+
+/// The per-segment execution plan shared by all machines.
+#[derive(Clone, Debug)]
+pub struct SegmentPlan {
+    /// The translated segment (source, extends, schema).
+    pub segment: Segment,
+    /// What to do with the segment's output.
+    pub terminal: Terminal,
+    /// For join segments: the schema lengths (arities) of the left and right
+    /// producer segments. `None` for scan segments.
+    pub producer_arities: Option<(usize, usize)>,
+}
+
+/// Cross-machine shared state for one segment: every machine's stealable
+/// scan pool and operator queues, plus the idle flags used for termination.
+pub struct SharedSegmentState {
+    /// One scan pool per machine (empty for join segments).
+    pub scan_pools: Vec<ScanPool>,
+    /// One set of operator queues per machine.
+    pub queues: Vec<Arc<SegmentQueues>>,
+    /// Idle flags used by the work-stealing termination protocol.
+    pub idle: Vec<AtomicBool>,
+}
+
+/// The state a machine carries across segments of one run.
+pub struct MachineState {
+    /// This machine's id.
+    pub machine: MachineId,
+    /// Its graph partition.
+    pub partition: GraphPartition,
+    /// Its adjacency cache (persists across segments of a run).
+    pub cache: Box<dyn PullCache>,
+    /// Pushing endpoint.
+    pub router: RouterEndpoint,
+    /// Pulling fabric.
+    pub rpc: RpcFabric,
+    /// Intra-machine worker pool.
+    pub pool: WorkerPool,
+    /// Memory tracker for intermediate results.
+    pub memory: Arc<MemoryTracker>,
+    /// Engine configuration.
+    pub config: ClusterConfig,
+    /// Directory for `PUSH-JOIN` spill files.
+    pub spill_dir: PathBuf,
+    /// Matches counted by this machine's sink.
+    pub matches: u64,
+    /// Collected sample matches (in query-vertex order).
+    pub samples: Vec<Vec<u32>>,
+    /// Busy time per intra-machine worker.
+    pub worker_busy: Vec<Duration>,
+    /// Total time spent in `PULL-EXTEND` fetch stages.
+    pub fetch_time: Duration,
+    /// Total wall-clock time this machine spent executing segments.
+    pub compute_time: Duration,
+    /// Batches obtained through inter-machine stealing.
+    pub batches_stolen: u64,
+    /// Router envelopes received that belong to a later join segment.
+    pending_envelopes: Vec<PushEnvelope>,
+}
+
+impl MachineState {
+    /// Creates the state for one machine.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        machine: MachineId,
+        partition: GraphPartition,
+        cache: Box<dyn PullCache>,
+        router: RouterEndpoint,
+        rpc: RpcFabric,
+        memory: Arc<MemoryTracker>,
+        config: ClusterConfig,
+        spill_dir: PathBuf,
+    ) -> Self {
+        let workers = config.workers_per_machine;
+        let pool = WorkerPool::new(workers, config.load_balance);
+        MachineState {
+            machine,
+            partition,
+            cache,
+            router,
+            rpc,
+            pool,
+            memory,
+            config,
+            spill_dir,
+            matches: 0,
+            samples: Vec::new(),
+            worker_busy: vec![Duration::ZERO; workers],
+            fetch_time: Duration::ZERO,
+            compute_time: Duration::ZERO,
+            batches_stolen: 0,
+            pending_envelopes: Vec::new(),
+        }
+    }
+
+    /// Produces the per-machine report after a run.
+    pub fn report(&self) -> MachineReport {
+        MachineReport {
+            machine: self.machine,
+            matches: self.matches,
+            compute_time: self.compute_time,
+            worker_busy: self.worker_busy.clone(),
+            peak_memory_bytes: self.memory.peak(),
+            comm: self.rpc.stats().machine(self.machine).snapshot(),
+            batches_stolen: self.batches_stolen,
+        }
+    }
+
+    fn op_context(&self) -> OpContext<'_> {
+        OpContext {
+            machine: self.machine,
+            partition: &self.partition,
+            rpc: &self.rpc,
+            cache: self.cache.as_ref(),
+            use_cache: !self.config.disable_cache,
+            pool: &self.pool,
+            batch_size: self.config.batch_size,
+        }
+    }
+
+    /// Runs one segment to completion (own work, then stolen work).
+    pub fn run_segment(
+        &mut self,
+        plan: &SegmentPlan,
+        shared: &SharedSegmentState,
+        sink: SinkMode,
+    ) -> Result<()> {
+        let start = Instant::now();
+        match &plan.segment.source {
+            SegmentSource::Scan(scan) => {
+                let mut cursor = ScanCursor::new(
+                    scan.clone(),
+                    shared.scan_pools[self.machine].clone(),
+                );
+                self.run_chain(Some(&mut cursor), plan, shared, sink)?;
+                if self.config.inter_machine_stealing {
+                    self.steal_loop(Some(&mut cursor), plan, shared, sink)?;
+                }
+            }
+            SegmentSource::Join(join_op) => {
+                // Gather this machine's share of both inputs from the router.
+                let (left_arity, right_arity) = plan
+                    .producer_arities
+                    .expect("join segments carry their producers' arities");
+                let mut joiner = HashJoiner::new(
+                    join_op.clone(),
+                    left_arity,
+                    right_arity,
+                    self.config.join_buffer_bytes,
+                    self.spill_dir.clone(),
+                    MemoryTrackerHandle::Tracked(Arc::clone(&self.memory)),
+                );
+                let mut stashed = std::mem::take(&mut self.pending_envelopes);
+                stashed.extend(self.router.drain());
+                for env in stashed {
+                    if env.segment == join_op.left {
+                        joiner.add(JoinSide::Left, &env.batch)?;
+                    } else if env.segment == join_op.right {
+                        joiner.add(JoinSide::Right, &env.batch)?;
+                    } else {
+                        self.pending_envelopes.push(env);
+                    }
+                }
+                // Produce the join output through the rest of the chain,
+                // draining downstream operators whenever the source queue
+                // fills so memory stays bounded.
+                let queues = Arc::clone(&shared.queues[self.machine]);
+                let batch_size = self.config.batch_size;
+                let mut drain_error: Option<crate::EngineError> = None;
+                {
+                    let this = &mut *self;
+                    joiner.finish(batch_size, |batch| {
+                        queues.queue(0).push(batch);
+                        if queues.queue(0).is_full() && drain_error.is_none() {
+                            if let Err(e) = this.run_chain(None, plan, shared, sink) {
+                                drain_error = Some(e);
+                            }
+                        }
+                    })?;
+                }
+                if let Some(e) = drain_error {
+                    return Err(e);
+                }
+                self.run_chain(None, plan, shared, sink)?;
+            }
+        }
+        self.compute_time += start.elapsed();
+        Ok(())
+    }
+
+    /// The BFS/DFS-adaptive scheduling loop (Algorithm 5) over this
+    /// segment's operator chain: source (optional cursor), extends, terminal.
+    fn run_chain(
+        &mut self,
+        mut cursor: Option<&mut ScanCursor>,
+        plan: &SegmentPlan,
+        shared: &SharedSegmentState,
+        sink: SinkMode,
+    ) -> Result<()> {
+        let queues = Arc::clone(&shared.queues[self.machine]);
+        let num_extends = plan.segment.extends.len();
+        // Operator indices: 0 = source, 1..=num_extends = extends,
+        // num_extends + 1 = terminal.
+        let terminal_idx = num_extends + 1;
+        let mut current = 0usize;
+        loop {
+            let has_input = match current {
+                0 => cursor.as_ref().map(|c| c.has_more()).unwrap_or(false),
+                i if i == terminal_idx => !queues.queue(num_extends).is_empty(),
+                i => !queues.queue(i - 1).is_empty(),
+            };
+            if !has_input {
+                if current == 0 {
+                    // Source exhausted: finish when nothing remains anywhere.
+                    if queues.all_empty() {
+                        break;
+                    }
+                    current += 1;
+                    continue;
+                }
+                // Backtrack only while some upstream operator still has work;
+                // otherwise keep moving towards the terminal (and stop at the
+                // terminal once the whole chain has drained).
+                let upstream_has_work = cursor.as_ref().map(|c| c.has_more()).unwrap_or(false)
+                    || (0..current.saturating_sub(1)).any(|i| !queues.queue(i).is_empty());
+                if upstream_has_work {
+                    current -= 1;
+                } else if current == terminal_idx {
+                    break;
+                } else {
+                    current += 1;
+                }
+                continue;
+            }
+            if current == terminal_idx {
+                while let Some(batch) = queues.queue(num_extends).pop() {
+                    self.consume_terminal(plan, &batch, sink);
+                }
+                current -= 1;
+                continue;
+            }
+            // Schedule the operator: consume input until its output queue
+            // fills or the input drains (Algorithm 5 lines 6-9).
+            loop {
+                let input: Option<RowBatch> = if current == 0 {
+                    let ctx = self.op_context();
+                    cursor.as_mut().and_then(|c| c.next_batch(&ctx))
+                } else {
+                    queues.queue(current - 1).pop()
+                };
+                let Some(input) = input else { break };
+                if current == 0 {
+                    // The scan already produced an output batch.
+                    for chunk in input.split_into_chunks(self.config.batch_size) {
+                        queues.queue(0).push(chunk);
+                    }
+                } else {
+                    let op = &plan.segment.extends[current - 1];
+                    let out = {
+                        let ctx = self.op_context();
+                        run_extend(op, &input, &ctx)
+                    };
+                    self.fetch_time += out.fetch_time;
+                    for (w, d) in out.worker_busy.iter().enumerate() {
+                        if w < self.worker_busy.len() {
+                            self.worker_busy[w] += *d;
+                        }
+                    }
+                    for chunk in out.batch.split_into_chunks(self.config.batch_size) {
+                        queues.queue(current).push(chunk);
+                    }
+                }
+                if queues.queue(current).is_full() {
+                    break;
+                }
+            }
+            // Move to the successor (the terminal backtracks on its own).
+            current += 1;
+        }
+        Ok(())
+    }
+
+    /// Consumes one fully-extended batch at the terminal.
+    fn consume_terminal(&mut self, plan: &SegmentPlan, batch: &RowBatch, sink: SinkMode) {
+        match &plan.terminal {
+            Terminal::Sink => {
+                self.matches += batch.len() as u64;
+                if let SinkMode::Collect(limit) = sink {
+                    let schema = &plan.segment.schema;
+                    for row in batch.rows() {
+                        if self.samples.len() >= limit {
+                            break;
+                        }
+                        self.samples.push(reorder_row(row, schema));
+                    }
+                }
+            }
+            Terminal::FeedJoin {
+                consumer: _,
+                key_positions,
+            } => {
+                let k = self.router.num_machines();
+                let mut outgoing: Vec<RowBatch> =
+                    (0..k).map(|_| RowBatch::new(batch.arity())).collect();
+                for row in batch.rows() {
+                    let dest = (crate::join::key_hash(row, key_positions) as usize) % k;
+                    outgoing[dest].push_row(row);
+                }
+                // Envelopes are tagged with the *producing* segment id so the
+                // consuming join can tell its left input from its right.
+                for (dest, out) in outgoing.into_iter().enumerate() {
+                    self.router.push(dest, plan.segment.id, out);
+                }
+            }
+        }
+    }
+
+    /// Inter-machine work stealing: once the own work is exhausted, steal
+    /// scan chunks or queued batches from other machines until every machine
+    /// is idle (§5.3).
+    fn steal_loop(
+        &mut self,
+        mut cursor: Option<&mut ScanCursor>,
+        plan: &SegmentPlan,
+        shared: &SharedSegmentState,
+        sink: SinkMode,
+    ) -> Result<()> {
+        let k = shared.queues.len();
+        if k <= 1 {
+            return Ok(());
+        }
+        loop {
+            shared.idle[self.machine].store(true, Ordering::SeqCst);
+            let mut stolen_any = false;
+            for offset in 1..k {
+                let victim = (self.machine + offset) % k;
+                // Prefer stealing unscanned vertices (most work remaining).
+                let chunks = shared.scan_pools[victim].steal_half();
+                if !chunks.is_empty() {
+                    let bytes: u64 = chunks
+                        .iter()
+                        .map(|c| (c.len() * std::mem::size_of::<u32>()) as u64)
+                        .sum();
+                    self.rpc.record_steal(self.machine, bytes);
+                    self.batches_stolen += chunks.len() as u64;
+                    shared.scan_pools[self.machine].add_chunks(chunks);
+                    stolen_any = true;
+                    break;
+                }
+                // Otherwise steal buffered batches from the victim's queues,
+                // upstream-most first (they carry the most remaining work).
+                for op in 0..shared.queues[victim].len() {
+                    let batches = shared.queues[victim].queue(op).steal_half();
+                    if batches.is_empty() {
+                        continue;
+                    }
+                    let bytes: u64 = batches.iter().map(|b| b.byte_size()).sum();
+                    self.rpc.record_steal(self.machine, bytes);
+                    self.batches_stolen += batches.len() as u64;
+                    for b in batches {
+                        shared.queues[self.machine].queue(op).push(b);
+                    }
+                    stolen_any = true;
+                    break;
+                }
+                if stolen_any {
+                    break;
+                }
+            }
+            if stolen_any {
+                shared.idle[self.machine].store(false, Ordering::SeqCst);
+                self.run_chain(cursor.as_deref_mut(), plan, shared, sink)?;
+                continue;
+            }
+            // Nothing to steal: finish once every machine is idle.
+            if shared.idle.iter().all(|f| f.load(Ordering::SeqCst)) {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        Ok(())
+    }
+}
+
+/// Reorders a row (laid out by segment schema) into query-vertex order.
+pub fn reorder_row(row: &[u32], schema: &[QueryVertex]) -> Vec<u32> {
+    let n = schema.len();
+    let mut out = vec![0u32; n];
+    for (pos, &qv) in schema.iter().enumerate() {
+        out[qv as usize] = row[pos];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reorder_row_maps_schema_to_vertex_order() {
+        // Schema [v2, v0, v1] with row [20, 0, 10] -> [0, 10, 20].
+        let row = [20u32, 0, 10];
+        let schema = [2u8, 0, 1];
+        assert_eq!(reorder_row(&row, &schema), vec![0, 10, 20]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Memory accounting for intermediate results.
+//!
+//! The paper's Theorem 5.4 bounds the memory a HUGE machine needs for
+//! intermediate results to `O(|V_q|² · D_G)`. To make that bound observable
+//! (Exp-7 reports memory versus output-queue size), every structure that
+//! holds partial results — operator output queues, the pending-input pools,
+//! `PUSH-JOIN` buffers — registers its allocations with a per-machine
+//! [`MemoryTracker`]; the run report exposes the peak across machines, which
+//! is the paper's `M` column.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tracks current and peak bytes of intermediate results on one machine.
+#[derive(Debug, Default)]
+pub struct MemoryTracker {
+    current: AtomicI64,
+    peak: AtomicU64,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an allocation of `bytes`.
+    pub fn allocate(&self, bytes: u64) {
+        let now = self.current.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+        let now = now.max(0) as u64;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Records a release of `bytes`.
+    pub fn release(&self, bytes: u64) {
+        self.current.fetch_sub(bytes as i64, Ordering::Relaxed);
+    }
+
+    /// Current bytes held.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Peak bytes held since creation.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared handles to every machine's tracker.
+#[derive(Clone, Debug)]
+pub struct ClusterMemory {
+    machines: Arc<Vec<MemoryTracker>>,
+}
+
+impl ClusterMemory {
+    /// Creates trackers for `k` machines.
+    pub fn new(k: usize) -> Self {
+        ClusterMemory {
+            machines: Arc::new((0..k).map(|_| MemoryTracker::new()).collect()),
+        }
+    }
+
+    /// The tracker of machine `m`.
+    pub fn machine(&self, m: usize) -> &MemoryTracker {
+        &self.machines[m]
+    }
+
+    /// Peak bytes over all machines (the paper's `M`).
+    pub fn peak(&self) -> u64 {
+        self.machines.iter().map(|t| t.peak()).max().unwrap_or(0)
+    }
+
+    /// Per-machine peaks.
+    pub fn peaks(&self) -> Vec<u64> {
+        self.machines.iter().map(|t| t.peak()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let t = MemoryTracker::new();
+        t.allocate(100);
+        t.allocate(200);
+        t.release(250);
+        t.allocate(10);
+        assert_eq!(t.current(), 60);
+        assert_eq!(t.peak(), 300);
+    }
+
+    #[test]
+    fn release_below_zero_saturates() {
+        let t = MemoryTracker::new();
+        t.allocate(10);
+        t.release(100);
+        assert_eq!(t.current(), 0);
+    }
+
+    #[test]
+    fn cluster_peak_is_max_over_machines() {
+        let c = ClusterMemory::new(3);
+        c.machine(0).allocate(100);
+        c.machine(1).allocate(500);
+        c.machine(1).release(400);
+        c.machine(2).allocate(50);
+        assert_eq!(c.peak(), 500);
+        assert_eq!(c.peaks(), vec![100, 500, 50]);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_peak() {
+        let c = ClusterMemory::new(1);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.machine(0).allocate(10);
+                        c.machine(0).release(10);
+                    }
+                });
+            }
+        });
+        assert!(c.peak() >= 10);
+        assert_eq!(c.machine(0).current(), 0);
+    }
+}

@@ -1,0 +1,578 @@
+//! Operator implementations: `SCAN` and `PULL-EXTEND`.
+//!
+//! (`PUSH-JOIN` lives in [`crate::join`]; the `SINK` is part of the segment
+//! terminal in [`crate::machine`].)
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use huge_cache::PullCache;
+use huge_comm::{MachineId, RowBatch, RpcFabric};
+use huge_graph::{GraphPartition, VertexId};
+use huge_plan::translate::{ExtendOp, OrderFilter, ScanOp};
+use parking_lot::Mutex;
+
+use crate::pool::WorkerPool;
+
+/// Everything an operator needs from its machine.
+pub struct OpContext<'a> {
+    /// The machine executing the operator.
+    pub machine: MachineId,
+    /// The machine's graph partition.
+    pub partition: &'a GraphPartition,
+    /// The pulling fabric (accounted `GetNbrs`).
+    pub rpc: &'a RpcFabric,
+    /// The machine's adjacency cache.
+    pub cache: &'a dyn PullCache,
+    /// `false` disables the cache (every remote list is fetched per batch).
+    pub use_cache: bool,
+    /// The machine's worker pool.
+    pub pool: &'a WorkerPool,
+    /// Rows per output batch.
+    pub batch_size: usize,
+}
+
+/// Applies the symmetry-breaking filters of an operator to a row.
+#[inline]
+pub fn passes_filters(row: &[VertexId], filters: &[OrderFilter]) -> bool {
+    filters.iter().all(|f| row[f.smaller] < row[f.larger])
+}
+
+// ---------------------------------------------------------------------------
+// SCAN
+// ---------------------------------------------------------------------------
+
+/// The stealable pool of unscanned vertices of one machine.
+///
+/// The machine's own scan cursor pops chunks from the front; idle machines
+/// steal chunks from the back (the inter-machine half of work stealing).
+#[derive(Clone)]
+pub struct ScanPool {
+    chunks: Arc<Mutex<std::collections::VecDeque<Vec<VertexId>>>>,
+}
+
+impl ScanPool {
+    /// Splits a vertex list into chunks of `chunk_size` and builds the pool.
+    pub fn new(vertices: &[VertexId], chunk_size: usize) -> Self {
+        let chunk_size = chunk_size.max(1);
+        let chunks = vertices
+            .chunks(chunk_size)
+            .map(|c| c.to_vec())
+            .collect::<std::collections::VecDeque<_>>();
+        ScanPool {
+            chunks: Arc::new(Mutex::new(chunks)),
+        }
+    }
+
+    /// An empty pool (used for non-scan segments).
+    pub fn empty() -> Self {
+        ScanPool {
+            chunks: Arc::new(Mutex::new(std::collections::VecDeque::new())),
+        }
+    }
+
+    /// Pops the next chunk for the owning machine.
+    pub fn pop(&self) -> Option<Vec<VertexId>> {
+        self.chunks.lock().pop_front()
+    }
+
+    /// Steals up to half of the remaining chunks (taken from the back).
+    pub fn steal_half(&self) -> Vec<Vec<VertexId>> {
+        let mut guard = self.chunks.lock();
+        let take = guard.len() / 2;
+        let mut stolen = Vec::with_capacity(take);
+        for _ in 0..take {
+            if let Some(chunk) = guard.pop_back() {
+                stolen.push(chunk);
+            }
+        }
+        stolen
+    }
+
+    /// Adds chunks (stolen from elsewhere) to this pool.
+    pub fn add_chunks(&self, chunks: Vec<Vec<VertexId>>) {
+        let mut guard = self.chunks.lock();
+        for c in chunks {
+            guard.push_back(c);
+        }
+    }
+
+    /// `true` when no chunks remain.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.lock().is_empty()
+    }
+
+    /// Number of vertices remaining (diagnostic).
+    pub fn remaining_vertices(&self) -> usize {
+        self.chunks.lock().iter().map(|c| c.len()).sum()
+    }
+}
+
+/// The `SCAN` cursor: produces batches of `[f(src), f(dst)]` rows from the
+/// machine's (possibly stolen) vertex chunks.
+pub struct ScanCursor {
+    op: ScanOp,
+    pool: ScanPool,
+    /// Pending rows carried over when a vertex's edges overflow a batch.
+    pending: Vec<VertexId>,
+}
+
+impl ScanCursor {
+    /// Creates a cursor over a scan pool.
+    pub fn new(op: ScanOp, pool: ScanPool) -> Self {
+        ScanCursor {
+            op,
+            pool,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The underlying stealable pool.
+    pub fn pool(&self) -> &ScanPool {
+        &self.pool
+    }
+
+    /// `true` if more batches may be produced.
+    pub fn has_more(&self) -> bool {
+        !self.pending.is_empty() || !self.pool.is_empty()
+    }
+
+    /// Produces the next batch of at most `ctx.batch_size` rows, or `None`
+    /// when the scan is exhausted.
+    pub fn next_batch(&mut self, ctx: &OpContext<'_>) -> Option<RowBatch> {
+        let target_rows = ctx.batch_size;
+        let mut batch = RowBatch::with_capacity(2, target_rows.min(64 * 1024));
+        // First drain carried-over rows.
+        while batch.len() < target_rows && self.pending.len() >= 2 {
+            let v = self.pending.pop().expect("pair");
+            let u = self.pending.pop().expect("pair");
+            batch.push_row(&[u, v]);
+        }
+        while batch.len() < target_rows {
+            let Some(chunk) = self.pool.pop() else { break };
+            // Fetch adjacency lists: local vertices read the partition
+            // directly; stolen remote vertices are pulled (and accounted).
+            let remote: Vec<VertexId> = chunk
+                .iter()
+                .copied()
+                .filter(|&v| !ctx.partition.is_local(v))
+                .collect();
+            let remote_lists: HashMap<VertexId, Vec<VertexId>> = if remote.is_empty() {
+                HashMap::new()
+            } else {
+                ctx.rpc.get_nbrs(ctx.machine, &remote).into_iter().collect()
+            };
+            for &u in &chunk {
+                let neighbours: &[VertexId] = if ctx.partition.is_local(u) {
+                    ctx.partition.local_neighbours(u)
+                } else {
+                    remote_lists.get(&u).map(|v| v.as_slice()).unwrap_or(&[])
+                };
+                for &v in neighbours {
+                    let row = [u, v];
+                    if !passes_filters(&row, &self.op.filters) {
+                        continue;
+                    }
+                    if batch.len() < target_rows {
+                        batch.push_row(&row);
+                    } else {
+                        self.pending.push(u);
+                        self.pending.push(v);
+                    }
+                }
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(batch)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PULL-EXTEND
+// ---------------------------------------------------------------------------
+
+/// The result of running a `PULL-EXTEND` over one input batch.
+pub struct ExtendOutput {
+    /// The extended (or verified) rows.
+    pub batch: RowBatch,
+    /// Busy time of each intra-machine worker during the intersect stage.
+    pub worker_busy: Vec<Duration>,
+    /// Time spent in the fetch stage (RPCs + cache writes + sealing).
+    pub fetch_time: Duration,
+}
+
+/// Runs the two-stage `PULL-EXTEND` (Algorithm 4) over one input batch.
+pub fn run_extend(op: &ExtendOp, input: &RowBatch, ctx: &OpContext<'_>) -> ExtendOutput {
+    let out_arity = if op.verify_position.is_some() {
+        input.arity()
+    } else {
+        input.arity() + 1
+    };
+
+    // ---------------- fetch stage ----------------
+    let fetch_start = Instant::now();
+    // Collect the distinct remote vertices referenced by the extend index.
+    let mut remote: Vec<VertexId> = Vec::new();
+    for row in input.rows() {
+        for &pos in &op.ext_positions {
+            let v = row[pos];
+            if !ctx.partition.is_local(v) {
+                remote.push(v);
+            }
+        }
+    }
+    remote.sort_unstable();
+    remote.dedup();
+
+    // Per-batch side table used when the cache is disabled.
+    let mut batch_table: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+    if ctx.use_cache {
+        let mut to_fetch: Vec<VertexId> = Vec::new();
+        for &v in &remote {
+            if ctx.cache.contains(v) {
+                ctx.cache.seal(v);
+            } else {
+                to_fetch.push(v);
+            }
+        }
+        if !to_fetch.is_empty() {
+            for (v, nbrs) in ctx.rpc.get_nbrs(ctx.machine, &to_fetch) {
+                ctx.cache.insert(v, nbrs);
+                ctx.cache.seal(v);
+            }
+        }
+    } else if !remote.is_empty() {
+        batch_table = ctx.rpc.get_nbrs(ctx.machine, &remote).into_iter().collect();
+    }
+    let fetch_time = fetch_start.elapsed();
+
+    // ---------------- intersect stage ----------------
+    // Split the batch into row-range work items for the worker pool.
+    let rows = input.len();
+    let chunk_rows = (rows / (ctx.pool.workers() * 4).max(1)).max(256);
+    let ranges: Vec<(usize, usize)> = (0..rows)
+        .step_by(chunk_rows)
+        .map(|start| (start, (start + chunk_rows).min(rows)))
+        .collect();
+
+    let batch_table = &batch_table;
+    let run = ctx.pool.run(ranges, |(start, end), out: &mut Vec<VertexId>| {
+        let mut scratch: Vec<VertexId> = Vec::new();
+        for i in start..end {
+            let row = input.row(i);
+            extend_one_row(op, row, ctx, batch_table, &mut scratch, out);
+        }
+    });
+
+    let mut batch = RowBatch::new(out_arity);
+    let worker_busy = run.busy.clone();
+    for flat in run.outputs {
+        let mut piece = RowBatch::from_flat(out_arity, flat);
+        batch.append(&mut piece);
+    }
+
+    if ctx.use_cache {
+        ctx.cache.release();
+    }
+
+    ExtendOutput {
+        batch,
+        worker_busy,
+        fetch_time,
+    }
+}
+
+/// Extends (or verifies) a single row, appending the resulting flat rows to
+/// `out`.
+fn extend_one_row(
+    op: &ExtendOp,
+    row: &[VertexId],
+    ctx: &OpContext<'_>,
+    batch_table: &HashMap<VertexId, Vec<VertexId>>,
+    scratch: &mut Vec<VertexId>,
+    out: &mut Vec<VertexId>,
+) {
+    // Verify mode: check that the already-bound vertex is adjacent to every
+    // extend position (no intersection needs materialising).
+    if let Some(vpos) = op.verify_position {
+        let target = row[vpos];
+        let ok = op.ext_positions.iter().all(|&pos| {
+            let v = row[pos];
+            with_neighbours(ctx, batch_table, v, |nbrs| nbrs.binary_search(&target).is_ok())
+                .unwrap_or(false)
+        });
+        if ok && passes_filters(row, &op.filters) {
+            out.extend_from_slice(row);
+        }
+        return;
+    }
+
+    // Match mode: multiway intersection of the neighbourhoods (Equation 2).
+    scratch.clear();
+    let mut first = true;
+    for &pos in &op.ext_positions {
+        let v = row[pos];
+        let found = with_neighbours(ctx, batch_table, v, |nbrs| {
+            if first {
+                scratch.extend_from_slice(nbrs);
+            } else {
+                intersect_in_place(scratch, nbrs);
+            }
+        });
+        if found.is_none() {
+            // Missing adjacency list (can only happen for an empty stolen
+            // list): no candidates.
+            scratch.clear();
+        }
+        first = false;
+        if scratch.is_empty() && !first {
+            break;
+        }
+    }
+    for &candidate in scratch.iter() {
+        // Injectivity: the new vertex must differ from every bound vertex.
+        if row.contains(&candidate) {
+            continue;
+        }
+        // Order filters refer to the *output* row layout (row ++ candidate).
+        let ok = op.filters.iter().all(|f| {
+            let smaller = if f.smaller == row.len() {
+                candidate
+            } else {
+                row[f.smaller]
+            };
+            let larger = if f.larger == row.len() {
+                candidate
+            } else {
+                row[f.larger]
+            };
+            smaller < larger
+        });
+        if ok {
+            out.extend_from_slice(row);
+            out.push(candidate);
+        }
+    }
+}
+
+/// Looks up the adjacency list of `v` (local partition, cache, or the
+/// per-batch table) and applies `f` to it. Returns `None` when the list is
+/// unavailable.
+fn with_neighbours<R>(
+    ctx: &OpContext<'_>,
+    batch_table: &HashMap<VertexId, Vec<VertexId>>,
+    v: VertexId,
+    mut f: impl FnMut(&[VertexId]) -> R,
+) -> Option<R> {
+    if ctx.partition.is_local(v) {
+        return Some(f(ctx.partition.local_neighbours(v)));
+    }
+    if ctx.use_cache {
+        let mut result = None;
+        let found = ctx.cache.read(v, &mut |nbrs| result = Some(f(nbrs)));
+        if found {
+            return result;
+        }
+        // Cache designs without seal/release (the Exp-6 LRU variants) may
+        // have evicted the entry between the fetch and intersect stages;
+        // correctness requires falling back to an extra (accounted) pull.
+        let fetched = ctx.rpc.get_nbrs(ctx.machine, &[v]);
+        return fetched.first().map(|(_, nbrs)| f(nbrs));
+    }
+    batch_table.get(&v).map(|nbrs| f(nbrs))
+}
+
+/// In-place intersection of a sorted accumulator with a sorted list.
+fn intersect_in_place(acc: &mut Vec<VertexId>, other: &[VertexId]) {
+    let mut write = 0;
+    let mut j = 0;
+    for read in 0..acc.len() {
+        let x = acc[read];
+        while j < other.len() && other[j] < x {
+            j += 1;
+        }
+        if j < other.len() && other[j] == x {
+            acc[write] = x;
+            write += 1;
+        }
+    }
+    acc.truncate(write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use huge_comm::stats::ClusterStats;
+    use huge_graph::{gen, Partitioner};
+    use huge_plan::physical::CommMode;
+
+    fn setup(k: usize) -> (Vec<GraphPartition>, RpcFabric) {
+        let g = gen::complete(8);
+        let parts = Partitioner::new(k).unwrap().partition(g);
+        let stats = ClusterStats::new(k);
+        let fabric = RpcFabric::new(Arc::new(parts.clone()), stats);
+        (parts, fabric)
+    }
+
+    fn ctx<'a>(
+        machine: usize,
+        parts: &'a [GraphPartition],
+        rpc: &'a RpcFabric,
+        cache: &'a dyn PullCache,
+        pool: &'a WorkerPool,
+    ) -> OpContext<'a> {
+        OpContext {
+            machine,
+            partition: &parts[machine],
+            rpc,
+            cache,
+            use_cache: true,
+            pool,
+            batch_size: 1024,
+        }
+    }
+
+    #[test]
+    fn scan_produces_all_directed_edges() {
+        let (parts, rpc) = setup(2);
+        let cache = huge_cache::LrbuCache::new(1 << 20);
+        let pool = WorkerPool::new(1, crate::config::LoadBalance::WorkStealing);
+        let mut total = 0;
+        for m in 0..2 {
+            let c = ctx(m, &parts, &rpc, &cache, &pool);
+            let scan = ScanOp {
+                src: 0,
+                dst: 1,
+                filters: vec![],
+            };
+            let mut cursor = ScanCursor::new(scan, ScanPool::new(parts[m].local_vertices(), 4));
+            while let Some(batch) = cursor.next_batch(&c) {
+                total += batch.len();
+            }
+        }
+        // K8 has 28 undirected edges -> 56 directed pairs across machines.
+        assert_eq!(total, 56);
+    }
+
+    #[test]
+    fn scan_respects_order_filters() {
+        let (parts, rpc) = setup(1);
+        let cache = huge_cache::LrbuCache::new(1 << 20);
+        let pool = WorkerPool::new(1, crate::config::LoadBalance::WorkStealing);
+        let c = ctx(0, &parts, &rpc, &cache, &pool);
+        let scan = ScanOp {
+            src: 0,
+            dst: 1,
+            filters: vec![OrderFilter { smaller: 0, larger: 1 }],
+        };
+        let mut cursor = ScanCursor::new(scan, ScanPool::new(parts[0].local_vertices(), 4));
+        let mut total = 0;
+        while let Some(batch) = cursor.next_batch(&c) {
+            for row in batch.rows() {
+                assert!(row[0] < row[1]);
+            }
+            total += batch.len();
+        }
+        assert_eq!(total, 28);
+    }
+
+    #[test]
+    fn extend_counts_triangles_on_k8() {
+        let (parts, rpc) = setup(2);
+        let pool = WorkerPool::new(2, crate::config::LoadBalance::WorkStealing);
+        let mut total = 0;
+        for m in 0..2 {
+            let cache = huge_cache::LrbuCache::new(1 << 20);
+            let c = ctx(m, &parts, &rpc, &cache, &pool);
+            let scan = ScanOp {
+                src: 0,
+                dst: 1,
+                filters: vec![OrderFilter { smaller: 0, larger: 1 }],
+            };
+            let ext = ExtendOp {
+                target: 2,
+                ext_positions: vec![0, 1],
+                verify_position: None,
+                filters: vec![OrderFilter { smaller: 1, larger: 2 }],
+                comm: CommMode::Pulling,
+            };
+            let mut cursor = ScanCursor::new(scan, ScanPool::new(parts[m].local_vertices(), 2));
+            while let Some(batch) = cursor.next_batch(&c) {
+                let out = run_extend(&ext, &batch, &c);
+                total += out.batch.len();
+            }
+        }
+        // K8 has C(8,3) = 56 triangles.
+        assert_eq!(total, 56);
+    }
+
+    #[test]
+    fn verify_extend_checks_membership() {
+        let (parts, rpc) = setup(1);
+        let cache = huge_cache::LrbuCache::new(1 << 20);
+        let pool = WorkerPool::new(1, crate::config::LoadBalance::WorkStealing);
+        let c = ctx(0, &parts, &rpc, &cache, &pool);
+        // Rows over K8 vertices: verify that column 0 is adjacent to column 1.
+        let mut input = RowBatch::new(2);
+        input.push_row(&[0, 1]);
+        input.push_row(&[2, 2]); // self pair: 2 is not its own neighbour
+        let op = ExtendOp {
+            target: 0,
+            ext_positions: vec![1],
+            verify_position: Some(0),
+            filters: vec![],
+            comm: CommMode::Pulling,
+        };
+        let out = run_extend(&op, &input, &c);
+        assert_eq!(out.batch.len(), 1);
+        assert_eq!(out.batch.row(0), &[0, 1]);
+    }
+
+    #[test]
+    fn extend_without_cache_uses_batch_table() {
+        let (parts, rpc) = setup(2);
+        let cache = huge_cache::LrbuCache::new(1 << 20);
+        let pool = WorkerPool::new(1, crate::config::LoadBalance::WorkStealing);
+        let mut c = ctx(0, &parts, &rpc, &cache, &pool);
+        c.use_cache = false;
+        let mut input = RowBatch::new(2);
+        input.push_row(&[0, 1]);
+        let op = ExtendOp {
+            target: 2,
+            ext_positions: vec![0, 1],
+            verify_position: None,
+            filters: vec![],
+            comm: CommMode::Pulling,
+        };
+        let out = run_extend(&op, &input, &c);
+        // All other 6 vertices of K8 complete the triangle.
+        assert_eq!(out.batch.len(), 6);
+        assert_eq!(cache.len(), 0, "cache must stay untouched when disabled");
+    }
+
+    #[test]
+    fn scan_pool_stealing() {
+        let pool = ScanPool::new(&(0..100u32).collect::<Vec<_>>(), 10);
+        let stolen = pool.steal_half();
+        assert_eq!(stolen.len(), 5);
+        assert_eq!(pool.remaining_vertices(), 50);
+        let other = ScanPool::empty();
+        other.add_chunks(stolen);
+        assert_eq!(other.remaining_vertices(), 50);
+        assert!(!other.is_empty());
+    }
+
+    #[test]
+    fn intersect_in_place_is_correct() {
+        let mut acc = vec![1, 3, 5, 7, 9];
+        intersect_in_place(&mut acc, &[3, 4, 5, 9, 11]);
+        assert_eq!(acc, vec![3, 5, 9]);
+        let mut empty: Vec<u32> = vec![];
+        intersect_in_place(&mut empty, &[1, 2]);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! The intra-machine worker pool.
+//!
+//! Each HUGE machine runs a pool of workers (§4.1). When an operator
+//! processes a batch, the batch's rows are split into work items and the
+//! pool executes them in parallel. With [`LoadBalance::WorkStealing`]
+//! (HUGE's default) every worker owns a deque and idle workers steal from
+//! the others — the intra-machine half of the paper's two-layer work
+//! stealing (§5.3). The other strategies reproduce the Exp-8 comparison
+//! points: `None` assigns items round-robin with no stealing (load follows
+//! the pivot vertex, as in BENU), and `RegionGroup` assigns contiguous
+//! ranges (RADS' region groups), which concentrates skew.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::{Steal, Stealer, Worker};
+
+use crate::config::LoadBalance;
+
+/// Output of a pool run: the items produced by each worker and how long each
+/// worker stayed busy.
+#[derive(Debug)]
+pub struct PoolRun<T> {
+    /// Items produced, grouped by worker.
+    pub outputs: Vec<Vec<T>>,
+    /// Busy time of each worker.
+    pub busy: Vec<Duration>,
+}
+
+impl<T> PoolRun<T> {
+    /// Flattens the per-worker outputs into one vector.
+    pub fn into_flat(self) -> Vec<T> {
+        self.outputs.into_iter().flatten().collect()
+    }
+}
+
+/// A pool of `workers` intra-machine workers.
+#[derive(Clone, Debug)]
+pub struct WorkerPool {
+    workers: usize,
+    strategy: LoadBalance,
+}
+
+impl WorkerPool {
+    /// Creates a pool.
+    pub fn new(workers: usize, strategy: LoadBalance) -> Self {
+        WorkerPool {
+            workers: workers.max(1),
+            strategy,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured balancing strategy.
+    pub fn strategy(&self) -> LoadBalance {
+        self.strategy
+    }
+
+    /// Processes `items` in parallel; `f(item, out)` appends its results to
+    /// `out`. Returns per-worker outputs and busy times.
+    ///
+    /// Falls back to inline execution when there is a single worker or a
+    /// single item (avoiding thread-spawn overhead for tiny batches).
+    pub fn run<I, T, F>(&self, items: Vec<I>, f: F) -> PoolRun<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I, &mut Vec<T>) + Sync,
+    {
+        if self.workers == 1 || items.len() <= 1 {
+            let start = Instant::now();
+            let mut out = Vec::new();
+            for item in items {
+                f(item, &mut out);
+            }
+            let mut busy = vec![Duration::ZERO; self.workers];
+            busy[0] = start.elapsed();
+            let mut outputs: Vec<Vec<T>> = (0..self.workers).map(|_| Vec::new()).collect();
+            outputs[0] = out;
+            return PoolRun { outputs, busy };
+        }
+
+        // Distribute items into per-worker deques.
+        let locals: Vec<Worker<I>> = (0..self.workers).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<I>> = locals.iter().map(|w| w.stealer()).collect();
+        let n = items.len();
+        for (idx, item) in items.into_iter().enumerate() {
+            let target = match self.strategy {
+                // Round-robin: even static split.
+                LoadBalance::WorkStealing | LoadBalance::None => idx % self.workers,
+                // Contiguous region groups.
+                LoadBalance::RegionGroup => (idx * self.workers / n).min(self.workers - 1),
+            };
+            locals[target].push(item);
+        }
+        let allow_steal = self.strategy == LoadBalance::WorkStealing;
+
+        let mut outputs: Vec<Vec<T>> = Vec::with_capacity(self.workers);
+        let mut busy: Vec<Duration> = Vec::with_capacity(self.workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.workers);
+            for (wid, local) in locals.into_iter().enumerate() {
+                let stealers = &stealers;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut out: Vec<T> = Vec::new();
+                    loop {
+                        // Own work first (pop from the back of the deque).
+                        if let Some(item) = local.pop() {
+                            f(item, &mut out);
+                            continue;
+                        }
+                        if !allow_steal {
+                            break;
+                        }
+                        // Steal from a sibling (front of its deque).
+                        let mut stolen = false;
+                        for (other, stealer) in stealers.iter().enumerate() {
+                            if other == wid {
+                                continue;
+                            }
+                            match stealer.steal() {
+                                Steal::Success(item) => {
+                                    f(item, &mut out);
+                                    stolen = true;
+                                    break;
+                                }
+                                Steal::Empty | Steal::Retry => continue,
+                            }
+                        }
+                        if !stolen {
+                            break;
+                        }
+                    }
+                    (out, start.elapsed())
+                }));
+            }
+            for handle in handles {
+                let (out, elapsed) = handle.join().expect("worker panicked");
+                outputs.push(out);
+                busy.push(elapsed);
+            }
+        });
+        PoolRun { outputs, busy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_items_processed_once() {
+        let pool = WorkerPool::new(4, LoadBalance::WorkStealing);
+        let items: Vec<u32> = (0..1000).collect();
+        let run = pool.run(items, |x, out| out.push(x * 2));
+        let mut flat = run.into_flat();
+        flat.sort_unstable();
+        assert_eq!(flat.len(), 1000);
+        assert_eq!(flat[0], 0);
+        assert_eq!(flat[999], 1998);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = WorkerPool::new(1, LoadBalance::WorkStealing);
+        let run = pool.run(vec![1, 2, 3], |x, out| out.push(x + 1));
+        assert_eq!(run.outputs.len(), 1);
+        assert_eq!(run.outputs[0], vec![2, 3, 4]);
+        assert_eq!(run.busy.len(), 1);
+    }
+
+    #[test]
+    fn stealing_balances_skewed_items() {
+        // One very expensive item plus many cheap ones: with stealing the
+        // cheap items migrate to the idle workers.
+        let pool = WorkerPool::new(4, LoadBalance::WorkStealing);
+        let mut items: Vec<u64> = vec![2_000_000];
+        items.extend(std::iter::repeat(20_000).take(63));
+        let run = pool.run(items, |iters, out: &mut Vec<u64>| {
+            let mut acc = 0u64;
+            for i in 0..iters {
+                acc = acc.wrapping_add(i ^ (acc << 1));
+            }
+            out.push(acc);
+        });
+        let produced: usize = run.outputs.iter().map(|o| o.len()).sum();
+        assert_eq!(produced, 64);
+        // Every worker should have produced something (the cheap items are
+        // spread out even though worker 0 holds the expensive one).
+        assert!(run.outputs.iter().filter(|o| !o.is_empty()).count() >= 2);
+    }
+
+    #[test]
+    fn no_steal_mode_keeps_assignment() {
+        let pool = WorkerPool::new(2, LoadBalance::None);
+        let items: Vec<u32> = (0..10).collect();
+        let run = pool.run(items, |x, out| out.push(x));
+        // Round-robin assignment: worker 0 gets evens, worker 1 gets odds;
+        // without stealing each output holds exactly its own share.
+        assert_eq!(run.outputs[0].len(), 5);
+        assert_eq!(run.outputs[1].len(), 5);
+        assert!(run.outputs[0].iter().all(|x| x % 2 == 0));
+    }
+
+    #[test]
+    fn region_group_mode_assigns_contiguously() {
+        let pool = WorkerPool::new(2, LoadBalance::RegionGroup);
+        let items: Vec<u32> = (0..10).collect();
+        let run = pool.run(items, |x, out| out.push(x));
+        assert_eq!(run.outputs[0].len() + run.outputs[1].len(), 10);
+        // Worker 0's items are all smaller than worker 1's.
+        let max0 = run.outputs[0].iter().max().copied().unwrap_or(0);
+        let min1 = run.outputs[1].iter().min().copied().unwrap_or(u32::MAX);
+        assert!(max0 < min1);
+    }
+
+    #[test]
+    fn busy_times_reported_for_every_worker() {
+        let pool = WorkerPool::new(3, LoadBalance::WorkStealing);
+        let run = pool.run((0..30).collect::<Vec<u32>>(), |x, out| out.push(x));
+        assert_eq!(run.busy.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let pool = WorkerPool::new(4, LoadBalance::WorkStealing);
+        let run = pool.run(Vec::<u32>::new(), |x, out| out.push(x));
+        assert_eq!(run.into_flat().len(), 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Run reports: the measurements every experiment consumes.
+
+use std::time::Duration;
+
+use huge_cache::CacheStats;
+use huge_comm::stats::CommSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Per-machine measurements.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MachineReport {
+    /// Machine id.
+    pub machine: usize,
+    /// Matches counted by this machine's sink.
+    pub matches: u64,
+    /// Wall-clock computation time of the machine thread.
+    pub compute_time: Duration,
+    /// Busy time of each worker on this machine (used for the Exp-8 load
+    /// balance standard deviation).
+    pub worker_busy: Vec<Duration>,
+    /// Peak intermediate-result memory on this machine.
+    pub peak_memory_bytes: u64,
+    /// Traffic counters of this machine.
+    pub comm: CommSnapshot,
+    /// Number of batches this machine stole from other machines.
+    pub batches_stolen: u64,
+}
+
+/// The result of running one query on the cluster.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Name of the query (if any).
+    pub query: String,
+    /// Total number of matches (summed over machines).
+    pub matches: u64,
+    /// A sample of complete matches when the sink was configured to collect.
+    pub sample_matches: Vec<Vec<u32>>,
+    /// Wall-clock time of the parallel run (the paper's computation time
+    /// `T_R`; the simulation transfers no real network bytes, so wall clock
+    /// is computation).
+    pub compute_time: Duration,
+    /// Modelled communication time `T_C` derived from the recorded traffic
+    /// and the configured network model.
+    pub comm_time: Duration,
+    /// Total bytes that crossed the simulated network (the paper's `C`).
+    pub comm_bytes: u64,
+    /// Aggregated traffic counters.
+    pub comm: CommSnapshot,
+    /// Peak intermediate-result memory over all machines (the paper's `M`).
+    pub peak_memory_bytes: u64,
+    /// Aggregated cache statistics over all machines.
+    pub cache: CacheStats,
+    /// Time spent in the fetch stage of `PULL-EXTEND` (the `t_f` reported in
+    /// Table 5 to bound the two-stage synchronisation overhead).
+    pub fetch_time: Duration,
+    /// Per-machine breakdowns.
+    pub machines: Vec<MachineReport>,
+}
+
+impl RunReport {
+    /// The paper's total time `T = T_R + T_C`.
+    pub fn total_time(&self) -> Duration {
+        self.compute_time + self.comm_time
+    }
+
+    /// Standard deviation of per-worker busy time in seconds (Exp-8's load
+    /// balance metric).
+    pub fn worker_time_stddev(&self) -> f64 {
+        let times: Vec<f64> = self
+            .machines
+            .iter()
+            .flat_map(|m| m.worker_busy.iter().map(|d| d.as_secs_f64()))
+            .collect();
+        if times.len() < 2 {
+            return 0.0;
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let var = times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / times.len() as f64;
+        var.sqrt()
+    }
+
+    /// Aggregated CPU time across all workers (the paper's `T_total` used to
+    /// bound work-stealing overhead in Exp-8).
+    pub fn total_worker_time(&self) -> Duration {
+        self.machines
+            .iter()
+            .flat_map(|m| m.worker_busy.iter())
+            .sum()
+    }
+
+    /// Throughput in matches per second of total time (Exp-3, Table 4).
+    pub fn throughput(&self) -> f64 {
+        let t = self.total_time().as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.matches as f64 / t
+        }
+    }
+
+    /// A one-line summary used by the experiment harness.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<22} matches={:<14} T={:>9.3}s  T_R={:>9.3}s  T_C={:>9.3}s  C={:>10} bytes  M={:>10} bytes",
+            self.query,
+            self.matches,
+            self.total_time().as_secs_f64(),
+            self.compute_time.as_secs_f64(),
+            self.comm_time.as_secs_f64(),
+            self.comm_bytes,
+            self.peak_memory_bytes
+        )
+    }
+}
+
+/// Merges cache statistics from several machines.
+pub(crate) fn merge_cache_stats(stats: impl IntoIterator<Item = CacheStats>) -> CacheStats {
+    stats.into_iter().fold(CacheStats::default(), |a, b| CacheStats {
+        hits: a.hits + b.hits,
+        misses: a.misses + b.misses,
+        inserts: a.inserts + b.inserts,
+        evictions: a.evictions + b.evictions,
+        overflow_inserts: a.overflow_inserts + b.overflow_inserts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_time_and_throughput() {
+        let report = RunReport {
+            matches: 1000,
+            compute_time: Duration::from_secs(2),
+            comm_time: Duration::from_secs(3),
+            ..Default::default()
+        };
+        assert_eq!(report.total_time(), Duration::from_secs(5));
+        assert!((report.throughput() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stddev_of_balanced_workers_is_zero() {
+        let report = RunReport {
+            machines: vec![MachineReport {
+                worker_busy: vec![Duration::from_secs(1); 4],
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        assert!(report.worker_time_stddev() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_detects_skew() {
+        let report = RunReport {
+            machines: vec![MachineReport {
+                worker_busy: vec![
+                    Duration::from_secs(0),
+                    Duration::from_secs(0),
+                    Duration::from_secs(0),
+                    Duration::from_secs(8),
+                ],
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        assert!(report.worker_time_stddev() > 3.0);
+        assert_eq!(report.total_worker_time(), Duration::from_secs(8));
+    }
+
+    #[test]
+    fn merge_cache_stats_adds_fields() {
+        let merged = merge_cache_stats([
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                inserts: 3,
+                evictions: 4,
+                overflow_inserts: 5,
+            },
+            CacheStats {
+                hits: 10,
+                misses: 20,
+                inserts: 30,
+                evictions: 40,
+                overflow_inserts: 50,
+            },
+        ]);
+        assert_eq!(merged.hits, 11);
+        assert_eq!(merged.overflow_inserts, 55);
+    }
+
+    #[test]
+    fn summary_contains_key_fields() {
+        let report = RunReport {
+            query: "q1".into(),
+            matches: 7,
+            ..Default::default()
+        };
+        let s = report.summary();
+        assert!(s.contains("q1"));
+        assert!(s.contains("matches=7"));
+    }
+}

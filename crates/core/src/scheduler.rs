@@ -1,0 +1,237 @@
+//! Scheduling primitives: the bounded output queues of the BFS/DFS-adaptive
+//! scheduler (§5.2) and the per-segment scheduling state.
+//!
+//! Every operator owns a fixed-capacity output queue. The adaptive scheduler
+//! (Algorithm 5, implemented in [`crate::machine`]) keeps feeding an operator
+//! as long as its queue has room, yields to the successor when the queue
+//! fills (BFS-like behaviour under low memory pressure degrades gracefully to
+//! DFS-like behaviour under high pressure), and backtracks when inputs drain.
+//! Because queues are shared, idle machines can also steal whole batches from
+//! a remote machine's queues — the inter-machine half of work stealing.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use huge_comm::RowBatch;
+use parking_lot::Mutex;
+
+use crate::memory::MemoryTracker;
+
+/// A shared, capacity-aware queue of row batches.
+///
+/// The capacity is *soft*: the producing operator checks [`SharedQueue::is_full`]
+/// after each batch (the paper lets a queue overflow by at most the results
+/// of one batch, which is what makes the memory bound `O(|V_q| · D_G)` per
+/// operator rather than zero-overflow-but-deadlock-prone).
+pub struct SharedQueue {
+    batches: Mutex<VecDeque<RowBatch>>,
+    rows: AtomicUsize,
+    capacity_rows: usize,
+    memory: Option<Arc<MemoryTracker>>,
+}
+
+impl SharedQueue {
+    /// Creates a queue with a row capacity.
+    pub fn new(capacity_rows: usize, memory: Option<Arc<MemoryTracker>>) -> Self {
+        SharedQueue {
+            batches: Mutex::new(VecDeque::new()),
+            rows: AtomicUsize::new(0),
+            capacity_rows,
+            memory,
+        }
+    }
+
+    /// The configured row capacity.
+    pub fn capacity_rows(&self) -> usize {
+        self.capacity_rows
+    }
+
+    /// Number of rows currently queued.
+    pub fn rows(&self) -> usize {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Number of batches currently queued.
+    pub fn len(&self) -> usize {
+        self.batches.lock().len()
+    }
+
+    /// `true` when no batches are queued.
+    pub fn is_empty(&self) -> bool {
+        self.rows() == 0
+    }
+
+    /// `true` when the queue has reached (or overflowed) its capacity.
+    pub fn is_full(&self) -> bool {
+        self.rows() >= self.capacity_rows
+    }
+
+    /// Enqueues a batch (always succeeds; capacity is checked by the caller
+    /// after the fact, per the paper's "overflow by at most one batch").
+    pub fn push(&self, batch: RowBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        if let Some(m) = &self.memory {
+            m.allocate(batch.byte_size());
+        }
+        self.rows.fetch_add(batch.len(), Ordering::Relaxed);
+        self.batches.lock().push_back(batch);
+    }
+
+    /// Dequeues the oldest batch.
+    pub fn pop(&self) -> Option<RowBatch> {
+        let batch = self.batches.lock().pop_front();
+        if let Some(b) = &batch {
+            self.rows.fetch_sub(b.len(), Ordering::Relaxed);
+            if let Some(m) = &self.memory {
+                m.release(b.byte_size());
+            }
+        }
+        batch
+    }
+
+    /// Steals up to half of the queued batches (from the back), releasing
+    /// their memory accounting from this machine. The thief re-registers the
+    /// batches against its own queues.
+    pub fn steal_half(&self) -> Vec<RowBatch> {
+        let mut guard = self.batches.lock();
+        let take = guard.len() / 2;
+        let mut stolen = Vec::with_capacity(take);
+        for _ in 0..take {
+            if let Some(b) = guard.pop_back() {
+                self.rows.fetch_sub(b.len(), Ordering::Relaxed);
+                if let Some(m) = &self.memory {
+                    m.release(b.byte_size());
+                }
+                stolen.push(b);
+            }
+        }
+        stolen
+    }
+}
+
+/// The queues of one machine for one segment: one per operator
+/// (index 0 = source, 1..=n = extends).
+pub struct SegmentQueues {
+    queues: Vec<Arc<SharedQueue>>,
+}
+
+impl SegmentQueues {
+    /// Creates `num_ops` queues with the given row capacity.
+    pub fn new(
+        num_ops: usize,
+        capacity_rows: usize,
+        memory: Option<Arc<MemoryTracker>>,
+    ) -> Self {
+        SegmentQueues {
+            queues: (0..num_ops)
+                .map(|_| Arc::new(SharedQueue::new(capacity_rows, memory.clone())))
+                .collect(),
+        }
+    }
+
+    /// Number of operator queues.
+    pub fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// `true` when there are no queues.
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// The queue of operator `i`.
+    pub fn queue(&self, i: usize) -> &Arc<SharedQueue> {
+        &self.queues[i]
+    }
+
+    /// `true` when every queue is empty.
+    pub fn all_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Total rows across all queues (diagnostic).
+    pub fn total_rows(&self) -> usize {
+        self.queues.iter().map(|q| q.rows()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(n: usize) -> RowBatch {
+        RowBatch::from_flat(1, (0..n as u32).collect())
+    }
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = SharedQueue::new(100, None);
+        q.push(batch(3));
+        q.push(batch(5));
+        assert_eq!(q.rows(), 8);
+        assert_eq!(q.len(), 2);
+        let first = q.pop().unwrap();
+        assert_eq!(first.len(), 3);
+        assert_eq!(q.rows(), 5);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn capacity_detection() {
+        let q = SharedQueue::new(10, None);
+        assert!(!q.is_full());
+        q.push(batch(6));
+        assert!(!q.is_full());
+        q.push(batch(6));
+        assert!(q.is_full());
+        assert_eq!(q.capacity_rows(), 10);
+    }
+
+    #[test]
+    fn empty_batches_are_ignored() {
+        let q = SharedQueue::new(10, None);
+        q.push(RowBatch::new(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn memory_is_tracked() {
+        let tracker = Arc::new(MemoryTracker::new());
+        let q = SharedQueue::new(100, Some(Arc::clone(&tracker)));
+        q.push(batch(10));
+        assert_eq!(tracker.current(), 40);
+        q.pop();
+        assert_eq!(tracker.current(), 0);
+        assert_eq!(tracker.peak(), 40);
+    }
+
+    #[test]
+    fn steal_half_takes_from_the_back() {
+        let q = SharedQueue::new(1000, None);
+        for i in 1..=4 {
+            q.push(batch(i));
+        }
+        let stolen = q.steal_half();
+        assert_eq!(stolen.len(), 2);
+        // The back batches (largest in this construction) are stolen.
+        assert_eq!(stolen[0].len(), 4);
+        assert_eq!(stolen[1].len(), 3);
+        assert_eq!(q.rows(), 1 + 2);
+    }
+
+    #[test]
+    fn segment_queues() {
+        let sq = SegmentQueues::new(3, 10, None);
+        assert_eq!(sq.len(), 3);
+        assert!(sq.all_empty());
+        sq.queue(1).push(batch(4));
+        assert!(!sq.all_empty());
+        assert_eq!(sq.total_rows(), 4);
+    }
+}

@@ -1,0 +1,192 @@
+//! Named synthetic datasets mirroring Table 3 of the paper.
+//!
+//! Each [`DatasetKind`] corresponds to one of the paper's graphs and is
+//! generated with a matching *shape* (degree distribution) at a laptop
+//! scale. The `scale` knob multiplies the default vertex count so that the
+//! benchmark harness can be grown towards the paper's sizes when more time
+//! and memory are available.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gen::{self, RmatParams};
+use crate::graph::Graph;
+
+/// The seven data graphs of the paper (Table 3), reproduced synthetically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Google web graph (`GO`): medium power-law web graph.
+    Go,
+    /// LiveJournal (`LJ`): the paper's default comparison graph (Table 1).
+    Lj,
+    /// Orkut (`OR`): denser social network.
+    Or,
+    /// UK02 web graph (`UK`): the paper's default dataset, skewed degrees.
+    Uk,
+    /// EU road network (`EU`): near-constant low degree.
+    Eu,
+    /// Friendster (`FS`): the largest social graph, used for scalability.
+    Fs,
+    /// ClueWeb12 (`CW`): the web-scale graph of Exp-3.
+    Cw,
+}
+
+impl DatasetKind {
+    /// All datasets in the order the paper lists them.
+    pub const ALL: [DatasetKind; 7] = [
+        DatasetKind::Go,
+        DatasetKind::Lj,
+        DatasetKind::Or,
+        DatasetKind::Uk,
+        DatasetKind::Eu,
+        DatasetKind::Fs,
+        DatasetKind::Cw,
+    ];
+
+    /// The short name used in reports (with an `-S` suffix marking the
+    /// synthetic stand-in).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Go => "GO-S",
+            DatasetKind::Lj => "LJ-S",
+            DatasetKind::Or => "OR-S",
+            DatasetKind::Uk => "UK-S",
+            DatasetKind::Eu => "EU-S",
+            DatasetKind::Fs => "FS-S",
+            DatasetKind::Cw => "CW-S",
+        }
+    }
+
+    /// Parses a dataset name (either the paper's name or the `-S` variant).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().trim_end_matches("-S") {
+            "GO" => Some(DatasetKind::Go),
+            "LJ" => Some(DatasetKind::Lj),
+            "OR" => Some(DatasetKind::Or),
+            "UK" => Some(DatasetKind::Uk),
+            "EU" => Some(DatasetKind::Eu),
+            "FS" => Some(DatasetKind::Fs),
+            "CW" => Some(DatasetKind::Cw),
+            _ => None,
+        }
+    }
+}
+
+/// A dataset descriptor: which graph to generate and how large.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Which of the paper's graphs this stands in for.
+    pub kind: DatasetKind,
+    /// Multiplier applied to the default vertex count (1.0 = default).
+    pub scale: f64,
+    /// Seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl Dataset {
+    /// A dataset at default (laptop) scale.
+    pub fn new(kind: DatasetKind) -> Self {
+        Dataset {
+            kind,
+            scale: 1.0,
+            seed: 0xD1CE,
+        }
+    }
+
+    /// Overrides the scale multiplier.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Overrides the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the graph.
+    pub fn generate(&self) -> Graph {
+        let s = self.scale.max(0.01);
+        let n = |base: usize| ((base as f64 * s) as usize).max(64);
+        match self.kind {
+            // Web graph, moderate skew.
+            DatasetKind::Go => gen::barabasi_albert(n(30_000), 5, self.seed ^ 0x60),
+            // Social network; the paper's Table 1 graph.
+            DatasetKind::Lj => gen::barabasi_albert(n(60_000), 9, self.seed ^ 0x17),
+            // Denser social network.
+            DatasetKind::Or => gen::barabasi_albert(n(40_000), 19, self.seed ^ 0x0F),
+            // Skewed web graph (default dataset of the paper's experiments).
+            DatasetKind::Uk => {
+                let nodes = n(80_000);
+                let scale = (usize::BITS - nodes.leading_zeros()) as u32;
+                gen::rmat(scale, nodes * 8, RmatParams::default(), self.seed ^ 0x4B)
+            }
+            // Road network: grid with a few shortcuts.
+            DatasetKind::Eu => {
+                let side = ((n(100_000) as f64).sqrt() as usize).max(8);
+                gen::grid(side, side, side, self.seed ^ 0xE0)
+            }
+            // Large social network for scalability runs.
+            DatasetKind::Fs => gen::barabasi_albert(n(120_000), 14, self.seed ^ 0xF5),
+            // Web-scale stand-in: the largest, heavily skewed.
+            DatasetKind::Cw => {
+                let nodes = n(200_000);
+                let scale = (usize::BITS - nodes.leading_zeros()) as u32;
+                gen::rmat(
+                    scale,
+                    nodes * 10,
+                    RmatParams {
+                        a: 0.62,
+                        b: 0.18,
+                        c: 0.15,
+                        noise: 0.05,
+                    },
+                    self.seed ^ 0xC1,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in DatasetKind::ALL {
+            assert_eq!(DatasetKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(DatasetKind::parse("lj"), Some(DatasetKind::Lj));
+        assert_eq!(DatasetKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn tiny_scale_generates_quickly() {
+        for kind in DatasetKind::ALL {
+            let g = Dataset::new(kind).scaled(0.02).generate();
+            assert!(g.num_vertices() >= 64, "{}", kind.name());
+            assert!(g.num_edges() > 0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn road_network_is_sparse_and_flat() {
+        let eu = Dataset::new(DatasetKind::Eu).scaled(0.05).generate();
+        assert!(eu.max_degree() <= 16);
+        assert!(eu.avg_degree() < 6.0);
+    }
+
+    #[test]
+    fn social_graph_is_skewed() {
+        let lj = Dataset::new(DatasetKind::Lj).scaled(0.05).generate();
+        assert!(lj.max_degree() as f64 > 4.0 * lj.avg_degree());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Dataset::new(DatasetKind::Go).scaled(0.02).generate();
+        let b = Dataset::new(DatasetKind::Go).scaled(0.02).generate();
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

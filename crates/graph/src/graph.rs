@@ -1,0 +1,331 @@
+//! The CSR graph representation.
+
+use crate::builder::GraphBuilder;
+use crate::stats::GraphStats;
+
+/// Identifier of a data-graph vertex.
+///
+/// The paper assigns each vertex a unique integer id in `0..|V|` (§2); we use
+/// `u32` which is sufficient for the laptop-scale graphs this reproduction
+/// targets while halving the memory footprint of adjacency lists compared to
+/// `u64`.
+pub type VertexId = u32;
+
+/// An immutable, undirected graph in compressed sparse row (CSR) form.
+///
+/// Adjacency lists are sorted in ascending order which allows:
+///
+/// * binary-search edge existence checks ([`Graph::has_edge`]),
+/// * linear-merge multi-way intersections (the kernel of `PULL-EXTEND`),
+/// * cheap symmetry-breaking filters (`u < u'` comparisons on ids).
+///
+/// The graph is undirected: every edge `(u, v)` appears in both `adj(u)` and
+/// `adj(v)`. [`Graph::num_edges`] reports the number of undirected edges.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// CSR offsets; `offsets[v]..offsets[v + 1]` indexes into `neighbours`.
+    offsets: Vec<u64>,
+    /// Concatenated, per-vertex-sorted adjacency lists.
+    neighbours: Vec<VertexId>,
+    /// Number of undirected edges.
+    num_edges: u64,
+}
+
+impl Default for Graph {
+    /// The empty graph (no vertices, no edges).
+    fn default() -> Self {
+        Graph {
+            offsets: vec![0],
+            neighbours: Vec::new(),
+            num_edges: 0,
+        }
+    }
+}
+
+impl Graph {
+    /// Creates a graph directly from CSR arrays.
+    ///
+    /// `offsets` must have length `n + 1`, be non-decreasing, start at 0 and
+    /// end at `neighbours.len()`. Each adjacency slice must be sorted. These
+    /// invariants are checked with debug assertions only; use
+    /// [`GraphBuilder`] for checked construction.
+    pub fn from_csr(offsets: Vec<u64>, neighbours: Vec<VertexId>, num_edges: u64) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.first().unwrap(), 0);
+        debug_assert_eq!(*offsets.last().unwrap() as usize, neighbours.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Graph {
+            offsets,
+            neighbours,
+            num_edges,
+        }
+    }
+
+    /// Builds a graph from an iterator of undirected edges.
+    ///
+    /// Duplicate edges and self loops are removed. Vertex ids are taken as
+    /// given (the vertex count is `max id + 1`).
+    pub fn from_edges<I>(edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut b = GraphBuilder::new();
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Returns `true` if the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_vertices() == 0
+    }
+
+    /// The sorted adjacency list of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbours(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbours[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Returns `true` if the undirected edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.num_vertices() || v as usize >= self.num_vertices() {
+            return false;
+        }
+        // Search the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbours(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices() as VertexId).into_iter()
+    }
+
+    /// Iterates over all undirected edges, each reported once with `u < v`
+    /// (except that isolated direction choices follow adjacency ordering).
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbours(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree `D_G` over all vertices.
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree `d_G`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Computes the full degree statistics of this graph.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::of(self)
+    }
+
+    /// An estimate of the in-memory size of the CSR representation in bytes.
+    ///
+    /// Used to model the "pull at most the whole graph data" communication
+    /// bound (`k · |E_G|`, Remark 3.1) and to size caches as a fraction of
+    /// the graph (the paper's "cache capacity: 30% of the data graph").
+    pub fn csr_bytes(&self) -> u64 {
+        (self.offsets.len() * std::mem::size_of::<u64>()
+            + self.neighbours.len() * std::mem::size_of::<VertexId>()) as u64
+    }
+
+    /// Counts triangles (closed wedges) in the graph.
+    ///
+    /// This is a reference/diagnostic routine used by tests to cross-check
+    /// the enumeration engine on the simplest non-trivial query.
+    pub fn count_triangles(&self) -> u64 {
+        let mut count = 0u64;
+        for u in self.vertices() {
+            let nu = self.neighbours(u);
+            for &v in nu.iter().filter(|&&v| v > u) {
+                let nv = self.neighbours(v);
+                count += intersect_count_gt(nu, nv, v);
+            }
+        }
+        count
+    }
+}
+
+/// Counts common elements of two sorted slices strictly greater than `min`.
+fn intersect_count_gt(a: &[VertexId], b: &[VertexId], min: VertexId) -> u64 {
+    let mut i = a.partition_point(|&x| x <= min);
+    let mut j = b.partition_point(|&x| x <= min);
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Intersects two sorted adjacency slices into a new vector.
+pub fn intersect_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Intersects many sorted slices, smallest first, into a new vector.
+///
+/// This is the multiway intersection of Equation 2 in the paper, used by the
+/// `PULL-EXTEND` operator to compute the candidate set of the next query
+/// vertex.
+pub fn intersect_many(mut lists: Vec<&[VertexId]>) -> Vec<VertexId> {
+    if lists.is_empty() {
+        return Vec::new();
+    }
+    lists.sort_by_key(|l| l.len());
+    let mut acc: Vec<VertexId> = lists[0].to_vec();
+    for l in &lists[1..] {
+        if acc.is_empty() {
+            break;
+        }
+        acc = intersect_sorted(&acc, l);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u32) -> Graph {
+        Graph::from_edges((0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::default();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = Graph::from_edges([(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.count_triangles(), 1);
+        assert_eq!(g.neighbours(1), &[0, 2]);
+    }
+
+    #[test]
+    fn duplicate_and_self_loops_removed() {
+        let g = Graph::from_edges([(0, 1), (1, 0), (0, 1), (2, 2), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let g = path_graph(10);
+        assert_eq!(g.count_triangles(), 0);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = Graph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.iter().all(|&(u, v)| u < v));
+    }
+
+    #[test]
+    fn intersect_helpers() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[3, 4, 5, 8]), vec![3, 5]);
+        assert_eq!(
+            intersect_many(vec![&[1, 2, 3, 4], &[2, 3, 4], &[0, 2, 4, 6]]),
+            vec![2, 4]
+        );
+        assert!(intersect_many(vec![]).is_empty());
+        assert!(intersect_sorted(&[], &[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn k4_triangle_count() {
+        let g = Graph::from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(g.count_triangles(), 4);
+    }
+
+    #[test]
+    fn csr_bytes_positive() {
+        let g = path_graph(100);
+        assert!(g.csr_bytes() > 0);
+    }
+
+    #[test]
+    fn avg_degree() {
+        let g = Graph::from_edges([(0, 1), (1, 2), (0, 2)]);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-9);
+    }
+}

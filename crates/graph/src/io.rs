@@ -1,0 +1,169 @@
+//! Reading and writing edge-list files.
+//!
+//! The paper's datasets (SNAP, WebGraph, DIMACS) are distributed as plain
+//! edge lists; this module supports the common variants: whitespace-separated
+//! `u v` pairs, optional `#`/`%` comment lines, and an optional binary format
+//! for fast round-trips of generated graphs.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::graph::{Graph, VertexId};
+use crate::{GraphBuilder, GraphError, Result};
+
+/// Parses an edge-list from a reader.
+///
+/// Lines beginning with `#` or `%` are treated as comments. Each other line
+/// must contain at least two whitespace-separated integers; extra columns
+/// (e.g. weights or timestamps) are ignored.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph> {
+    let mut builder = GraphBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u = it.next().and_then(|t| t.parse::<VertexId>().ok());
+        let v = it.next().and_then(|t| t.parse::<VertexId>().ok());
+        match (u, v) {
+            (Some(u), Some(v)) => {
+                builder.add_edge(u, v);
+            }
+            _ => {
+                return Err(GraphError::Parse {
+                    line: idx + 1,
+                    content: line,
+                })
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Loads a graph from a whitespace-separated edge-list file.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    let file = File::open(path)?;
+    read_edge_list(BufReader::new(file))
+}
+
+/// Writes a graph as a `u v` edge list (one undirected edge per line).
+pub fn write_edge_list<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# vertices: {}", graph.num_vertices())?;
+    writeln!(w, "# edges: {}", graph.num_edges())?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"HUGEGRF1";
+
+/// Writes a graph in a compact binary format (magic, vertex count, edge
+/// count, CSR-free edge pairs). Intended for caching generated datasets.
+pub fn write_binary<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(graph.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&graph.num_edges().to_le_bytes())?;
+    for (u, v) in graph.edges() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph written by [`write_binary`].
+pub fn read_binary<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    let mut file = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(GraphError::Parse {
+            line: 0,
+            content: "bad magic in binary graph file".to_string(),
+        });
+    }
+    let mut buf8 = [0u8; 8];
+    file.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    file.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8);
+    let mut builder = GraphBuilder::with_vertices(n);
+    let mut buf4 = [0u8; 4];
+    for _ in 0..m {
+        file.read_exact(&mut buf4)?;
+        let u = VertexId::from_le_bytes(buf4);
+        file.read_exact(&mut buf4)?;
+        let v = VertexId::from_le_bytes(buf4);
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_simple_edge_list() {
+        let text = "# comment\n0 1\n1 2\n% another comment\n2 0\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn extra_columns_ignored() {
+        let text = "0 1 0.5\n1 2 0.25 extra\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_line_is_error() {
+        let text = "0 1\nnot-an-edge\n";
+        let err = read_edge_list(Cursor::new(text)).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let g = Graph::from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let dir = std::env::temp_dir().join("huge_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.txt");
+        write_edge_list(&g, &path).unwrap();
+        let g2 = load_edge_list(&path).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = Graph::from_edges([(0, 5), (5, 3), (3, 0), (2, 4)]);
+        let dir = std::env::temp_dir().join("huge_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.bin");
+        write_binary(&g, &path).unwrap();
+        let g2 = read_binary(&path).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for v in g.vertices() {
+            assert_eq!(g.neighbours(v), g2.neighbours(v));
+        }
+        let _ = std::fs::remove_file(path);
+    }
+}

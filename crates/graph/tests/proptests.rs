@@ -1,0 +1,134 @@
+//! Property-based tests of the graph substrate.
+
+use huge_graph::graph::{intersect_many, intersect_sorted};
+use huge_graph::{gen, Graph, GraphBuilder, Partitioner};
+use proptest::prelude::*;
+
+fn arb_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..max_v, 0..max_v), 0..max_e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR construction is symmetric: `v ∈ adj(u)` iff `u ∈ adj(v)`.
+    #[test]
+    fn adjacency_is_symmetric(edges in arb_edges(64, 200)) {
+        let g = Graph::from_edges(edges);
+        for u in g.vertices() {
+            for &v in g.neighbours(u) {
+                prop_assert!(g.neighbours(v).binary_search(&u).is_ok());
+            }
+        }
+    }
+
+    /// Adjacency lists are sorted and contain no duplicates or self loops.
+    #[test]
+    fn adjacency_sorted_unique(edges in arb_edges(64, 200)) {
+        let g = Graph::from_edges(edges);
+        for u in g.vertices() {
+            let adj = g.neighbours(u);
+            prop_assert!(adj.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!adj.contains(&u));
+        }
+    }
+
+    /// The number of undirected edges equals half the sum of degrees.
+    #[test]
+    fn handshake_lemma(edges in arb_edges(128, 400)) {
+        let g = Graph::from_edges(edges);
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum as u64, 2 * g.num_edges());
+    }
+
+    /// `has_edge` agrees with adjacency membership.
+    #[test]
+    fn has_edge_consistent(edges in arb_edges(48, 150), u in 0u32..48, v in 0u32..48) {
+        let g = Graph::from_edges(edges);
+        if (u as usize) < g.num_vertices() && (v as usize) < g.num_vertices() {
+            let expect = g.neighbours(u).contains(&v);
+            prop_assert_eq!(g.has_edge(u, v), expect);
+            prop_assert_eq!(g.has_edge(v, u), expect);
+        }
+    }
+
+    /// Sorted intersection equals the set intersection.
+    #[test]
+    fn intersection_correct(mut a in prop::collection::vec(0u32..200, 0..80),
+                            mut b in prop::collection::vec(0u32..200, 0..80)) {
+        a.sort_unstable(); a.dedup();
+        b.sort_unstable(); b.dedup();
+        let got = intersect_sorted(&a, &b);
+        let sa: std::collections::BTreeSet<_> = a.iter().copied().collect();
+        let sb: std::collections::BTreeSet<_> = b.iter().copied().collect();
+        let want: Vec<u32> = sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Multi-way intersection is order independent and matches pairwise folding.
+    #[test]
+    fn multiway_intersection_correct(lists in prop::collection::vec(
+        prop::collection::vec(0u32..100, 0..40), 1..4)) {
+        let sorted: Vec<Vec<u32>> = lists.iter().map(|l| {
+            let mut l = l.clone();
+            l.sort_unstable();
+            l.dedup();
+            l
+        }).collect();
+        let refs: Vec<&[u32]> = sorted.iter().map(|l| l.as_slice()).collect();
+        let got = intersect_many(refs);
+        let mut want = sorted[0].clone();
+        for l in &sorted[1..] {
+            want = intersect_sorted(&want, l);
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// Partitioning covers every vertex exactly once, regardless of k.
+    #[test]
+    fn partition_is_a_cover(edges in arb_edges(100, 300), k in 1usize..8) {
+        let g = Graph::from_edges(edges);
+        let n = g.num_vertices();
+        let parts = Partitioner::new(k).unwrap().partition(g);
+        let covered: usize = parts.iter().map(|p| p.num_local_vertices()).sum();
+        prop_assert_eq!(covered, n);
+    }
+
+    /// Builder is idempotent under duplicated input edges.
+    #[test]
+    fn builder_dedup(edges in arb_edges(40, 120)) {
+        let mut doubled = edges.clone();
+        doubled.extend(edges.iter().copied());
+        let g1 = Graph::from_edges(edges);
+        let g2 = Graph::from_edges(doubled);
+        prop_assert_eq!(g1.num_edges(), g2.num_edges());
+    }
+}
+
+#[test]
+fn generators_are_connected_enough() {
+    // BA graphs are connected by construction.
+    let g = gen::barabasi_albert(2000, 3, 77);
+    let mut visited = vec![false; g.num_vertices()];
+    let mut stack = vec![0u32];
+    visited[0] = true;
+    let mut seen = 1;
+    while let Some(v) = stack.pop() {
+        for &u in g.neighbours(v) {
+            if !visited[u as usize] {
+                visited[u as usize] = true;
+                seen += 1;
+                stack.push(u);
+            }
+        }
+    }
+    assert_eq!(seen, g.num_vertices());
+}
+
+#[test]
+fn builder_with_vertices_allows_bigger_ids() {
+    let mut b = GraphBuilder::with_vertices(4);
+    b.add_edge(0, 3);
+    let g = b.build();
+    assert_eq!(g.num_vertices(), 4);
+}

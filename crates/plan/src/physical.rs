@@ -1,0 +1,165 @@
+//! Physical join settings: join algorithm and communication mode.
+//!
+//! Given a two-way join `(q', q'_l, q'_r)` the paper configures the physical
+//! setting by Equation 3:
+//!
+//! * `(wco join, pulling)` if the join is a *complete star join* — `q'_r` is
+//!   a star `(v; L)` whose leaves are all contained in `V(q'_l)`;
+//! * `(hash join, pulling)` if `q'_r` is a star whose *root* belongs to
+//!   `V(q'_l)` (condition C1 of Property 3.1);
+//! * `(hash join, pushing)` otherwise.
+
+use huge_query::QueryGraph;
+use serde::{Deserialize, Serialize};
+
+use crate::subquery::SubQuery;
+
+/// The join algorithm used to process a two-way join.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinAlgorithm {
+    /// Conventional distributed hash join over the join key.
+    Hash,
+    /// Worst-case-optimal join: extend by one vertex via multiway
+    /// intersection (Equation 2).
+    Wco,
+}
+
+/// The communication mode used to process a two-way join.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommMode {
+    /// Ship intermediate results to the machine indexed by the join key.
+    Pushing,
+    /// Ship (and cache) adjacency lists to the machine holding the partial
+    /// result.
+    Pulling,
+}
+
+/// A physical setting: `(A, C)` in the paper's notation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhysicalSetting {
+    /// The join algorithm.
+    pub algorithm: JoinAlgorithm,
+    /// The communication mode.
+    pub comm: CommMode,
+}
+
+impl PhysicalSetting {
+    /// `(wco, pulling)` — used for complete star joins.
+    pub const WCO_PULLING: PhysicalSetting = PhysicalSetting {
+        algorithm: JoinAlgorithm::Wco,
+        comm: CommMode::Pulling,
+    };
+    /// `(wco, pushing)` — BiGJoin's native setting.
+    pub const WCO_PUSHING: PhysicalSetting = PhysicalSetting {
+        algorithm: JoinAlgorithm::Wco,
+        comm: CommMode::Pushing,
+    };
+    /// `(hash, pulling)` — RADS-style star pulling.
+    pub const HASH_PULLING: PhysicalSetting = PhysicalSetting {
+        algorithm: JoinAlgorithm::Hash,
+        comm: CommMode::Pulling,
+    };
+    /// `(hash, pushing)` — the classical shuffle join.
+    pub const HASH_PUSHING: PhysicalSetting = PhysicalSetting {
+        algorithm: JoinAlgorithm::Hash,
+        comm: CommMode::Pushing,
+    };
+
+    /// `true` when the setting uses pulling communication.
+    pub fn is_pulling(&self) -> bool {
+        self.comm == CommMode::Pulling
+    }
+}
+
+/// Definition 3.1: a two-way join is a *complete star join* iff the right
+/// operand is a star `(v; L)` with `L ⊆ V(q'_l)` (the join is commutative;
+/// callers should try both orientations).
+pub fn is_complete_star_join(q: &QueryGraph, left: &SubQuery, right: &SubQuery) -> bool {
+    match right.as_star(q) {
+        Some((_root, leaves)) => leaves.iter().all(|&l| left.contains_vertex(l)),
+        None => false,
+    }
+}
+
+/// Property 3.1, condition C1: the right operand is a star whose root is a
+/// vertex of the left operand, so the star's matches can be enumerated
+/// locally after pulling the root's adjacency list.
+pub fn is_rooted_star_join(q: &QueryGraph, left: &SubQuery, right: &SubQuery) -> bool {
+    match right.as_star(q) {
+        Some((root, _leaves)) => left.contains_vertex(root),
+        None => false,
+    }
+}
+
+/// Equation 3: configures the physical setting for the join
+/// `(left ∪ right, left, right)`.
+///
+/// The orientation matters: this function treats `right` as `q'_r`. The
+/// optimiser tries both orientations and keeps the cheaper one.
+pub fn configure(q: &QueryGraph, left: &SubQuery, right: &SubQuery) -> PhysicalSetting {
+    if is_complete_star_join(q, left, right) {
+        PhysicalSetting::WCO_PULLING
+    } else if is_rooted_star_join(q, left, right) {
+        PhysicalSetting::HASH_PULLING
+    } else {
+        PhysicalSetting::HASH_PUSHING
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use huge_query::Pattern;
+
+    #[test]
+    fn clique_extension_is_complete_star_join() {
+        let q = Pattern::FourClique.query_graph();
+        // Left: triangle on {0,1,2}; right: star rooted at 3 with leaves
+        // {0,1,2} (all edges incident to 3).
+        let left = SubQuery::induced_by_vertices(&q, [0, 1, 2]);
+        let right = SubQuery::star(&q, 3, &[0, 1, 2]);
+        assert!(is_complete_star_join(&q, &left, &right));
+        assert_eq!(configure(&q, &left, &right), PhysicalSetting::WCO_PULLING);
+    }
+
+    #[test]
+    fn rooted_star_join_uses_hash_pulling() {
+        let q = Pattern::TailedTriangleStar.query_graph();
+        // Left: the triangle {0,1,2}; right: the star rooted at 1 with the
+        // three tail leaves {3,4,5}. The root 1 is in the left, but the
+        // leaves are not, so this is C1 (hash join, pulling).
+        let left = SubQuery::induced_by_vertices(&q, [0, 1, 2]);
+        let right = SubQuery::star(&q, 1, &[3, 4, 5]);
+        assert!(!is_complete_star_join(&q, &left, &right));
+        assert!(is_rooted_star_join(&q, &left, &right));
+        assert_eq!(configure(&q, &left, &right), PhysicalSetting::HASH_PULLING);
+    }
+
+    #[test]
+    fn unrelated_join_uses_hash_pushing() {
+        let q = Pattern::Path(6).query_graph();
+        // Left: path 0-1-2-3 (edges 0,1,2); right: path 3-4-5 (edges 3,4).
+        let left = SubQuery::from_edge_indices(&q, [0, 1, 2]);
+        let right = SubQuery::from_edge_indices(&q, [3, 4]);
+        // The right is a path of 3 vertices which *is* a star rooted at 4,
+        // but 4 is not in the left, and its leaves {3,5} are not all in the
+        // left either -> pushing hash join.
+        assert_eq!(configure(&q, &left, &right), PhysicalSetting::HASH_PUSHING);
+    }
+
+    #[test]
+    fn square_assembled_from_two_paths_is_complete_star_join() {
+        let q = Pattern::Square.query_graph();
+        // Left: path 1-0-3 (the two edges incident to 0); right: star rooted
+        // at 2 with leaves {1,3}. Leaves ⊆ V(left) -> complete star join.
+        let left = SubQuery::star(&q, 0, &[1, 3]);
+        let right = SubQuery::star(&q, 2, &[1, 3]);
+        assert!(is_complete_star_join(&q, &left, &right));
+    }
+
+    #[test]
+    fn physical_setting_helpers() {
+        assert!(PhysicalSetting::WCO_PULLING.is_pulling());
+        assert!(!PhysicalSetting::HASH_PUSHING.is_pulling());
+    }
+}

@@ -1,0 +1,57 @@
+//! Runs HUGE and every baseline system on the same workload and prints a
+//! Table-1-style comparison (total time, computation time, communication
+//! time, bytes moved and peak memory).
+//!
+//! ```text
+//! cargo run -p huge-examples --release --example baseline_faceoff
+//! ```
+
+use huge_baselines::Baseline;
+use huge_core::{ClusterConfig, HugeCluster, SinkMode};
+use huge_graph::gen;
+use huge_query::Pattern;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = gen::barabasi_albert(6_000, 8, 17);
+    let query = Pattern::Square.query_graph();
+    let config = ClusterConfig::new(4).workers(2);
+
+    println!(
+        "square query on a {}-vertex / {}-edge power-law graph, {} machines\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        config.machines
+    );
+    println!(
+        "{:<10} {:>12} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "system", "matches", "T(s)", "T_R(s)", "T_C(s)", "C(KiB)", "M(KiB)"
+    );
+
+    for baseline in Baseline::ALL {
+        let report = baseline.run(&graph, &query, &config)?;
+        println!(
+            "{:<10} {:>12} {:>9.3} {:>9.3} {:>9.3} {:>10} {:>10}",
+            baseline.name(),
+            report.matches,
+            report.total_time().as_secs_f64(),
+            report.compute_time.as_secs_f64(),
+            report.comm_time.as_secs_f64(),
+            report.comm_bytes / 1024,
+            report.peak_memory_bytes / 1024
+        );
+    }
+
+    let cluster = HugeCluster::build(graph, config)?;
+    let report = cluster.run(&query, SinkMode::Count)?;
+    println!(
+        "{:<10} {:>12} {:>9.3} {:>9.3} {:>9.3} {:>10} {:>10}",
+        "HUGE",
+        report.matches,
+        report.total_time().as_secs_f64(),
+        report.compute_time.as_secs_f64(),
+        report.comm_time.as_secs_f64(),
+        report.comm_bytes / 1024,
+        report.peak_memory_bytes / 1024
+    );
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Shows the optimiser's execution plans and their dataflow translations for
+//! every paper query (the programmatic version of Figure 1 of the paper).
+//!
+//! ```text
+//! cargo run -p huge-examples --example plan_explain
+//! ```
+
+use huge_graph::gen;
+use huge_plan::cost::{CostModel, HybridEstimator};
+use huge_plan::optimizer::Optimizer;
+use huge_plan::translate::translate;
+use huge_query::Pattern;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The cost model needs a data graph; use a mid-sized power-law graph.
+    let graph = gen::barabasi_albert(50_000, 10, 7);
+    let estimator = HybridEstimator::from_graph(&graph);
+    let model = CostModel::new(10, graph.num_edges()).with_avg_degree(graph.avg_degree());
+
+    for (i, pattern) in Pattern::PAPER_QUERIES.iter().enumerate() {
+        let query = pattern.query_graph();
+        let plan = Optimizer::new(&estimator, model.clone()).optimize(&query)?;
+        let dataflow = translate(&plan)?;
+        println!("============ q{} ({}) ============", i + 1, pattern.name());
+        print!("{}", plan.explain());
+        println!("dataflow:");
+        print!("{}", dataflow.explain());
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Shared helpers for the runnable examples (see the `examples/*.rs` files).
+//!
+//! The actual examples are example targets of this package:
+//! `cargo run -p huge-examples --example quickstart`.

@@ -1,0 +1,2 @@
+//! Empty library target; the real content lives in `tests/tests/*.rs`
+//! integration tests which span every crate in the workspace.

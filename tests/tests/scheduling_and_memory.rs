@@ -1,0 +1,192 @@
+//! Integration tests of the BFS/DFS-adaptive scheduler, the memory bound and
+//! the cache / communication behaviour.
+
+use huge_cache::CacheKind;
+use huge_core::{ClusterConfig, HugeCluster, LoadBalance, SinkMode};
+use huge_graph::gen;
+use huge_query::{naive, Pattern};
+
+#[test]
+fn bounded_queues_bound_memory() {
+    // A dense-ish graph where the square query has a large intermediate
+    // (2-path) stage; bounded queues must keep the peak far below the
+    // unbounded (pure BFS) run.
+    let graph = gen::barabasi_albert(2_000, 12, 3);
+    let query = Pattern::Square.query_graph();
+    let bounded = HugeCluster::build(
+        graph.clone(),
+        ClusterConfig::new(2).workers(2).output_queue_rows(2_000).batch_size(1_000),
+    )
+    .unwrap()
+    .run(&query, SinkMode::Count)
+    .unwrap();
+    let unbounded = HugeCluster::build(
+        graph,
+        ClusterConfig::new(2).workers(2).output_queue_rows(usize::MAX / 2),
+    )
+    .unwrap()
+    .run(&query, SinkMode::Count)
+    .unwrap();
+    assert_eq!(bounded.matches, unbounded.matches);
+    assert!(
+        bounded.peak_memory_bytes * 2 < unbounded.peak_memory_bytes,
+        "bounded {} vs unbounded {}",
+        bounded.peak_memory_bytes,
+        unbounded.peak_memory_bytes
+    );
+}
+
+#[test]
+fn cache_reduces_pulled_traffic() {
+    let graph = gen::barabasi_albert(3_000, 8, 9);
+    let query = Pattern::Triangle.query_graph();
+    // Small batches so the cache gets a chance to be reused *across* batches
+    // (within a single batch both configurations deduplicate fetches).
+    let with_cache = HugeCluster::build(
+        graph.clone(),
+        ClusterConfig::new(4)
+            .workers(2)
+            .batch_size(512)
+            .cache_fraction(1.0),
+    )
+    .unwrap()
+    .run(&query, SinkMode::Count)
+    .unwrap();
+    let without_cache = HugeCluster::build(
+        graph,
+        ClusterConfig::new(4).workers(2).batch_size(512).no_cache(),
+    )
+    .unwrap()
+    .run(&query, SinkMode::Count)
+    .unwrap();
+    assert_eq!(with_cache.matches, without_cache.matches);
+    assert!(
+        with_cache.comm.bytes_pulled < without_cache.comm.bytes_pulled,
+        "cache {} vs no cache {}",
+        with_cache.comm.bytes_pulled,
+        without_cache.comm.bytes_pulled
+    );
+    assert!(with_cache.cache.hits > 0);
+}
+
+#[test]
+fn larger_caches_do_not_pull_more() {
+    let graph = gen::barabasi_albert(2_000, 8, 11);
+    let query = Pattern::Square.query_graph();
+    let mut previous = u64::MAX;
+    let mut counts = Vec::new();
+    for fraction in [0.02, 0.3, 1.0] {
+        let report = HugeCluster::build(
+            graph.clone(),
+            ClusterConfig::new(4).workers(2).cache_fraction(fraction),
+        )
+        .unwrap()
+        .run(&query, SinkMode::Count)
+        .unwrap();
+        counts.push(report.matches);
+        assert!(
+            report.comm.bytes_pulled <= previous,
+            "pulled bytes should not grow with cache size"
+        );
+        previous = report.comm.bytes_pulled;
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn every_cache_design_is_correct() {
+    let graph = gen::erdos_renyi(400, 2_500, 17);
+    let query = Pattern::Triangle.query_graph();
+    let expected = naive::enumerate(&graph, &query);
+    for kind in CacheKind::ALL {
+        let report = HugeCluster::build(
+            graph.clone(),
+            ClusterConfig::new(3).workers(2).cache_kind(kind).cache_fraction(0.1),
+        )
+        .unwrap()
+        .run(&query, SinkMode::Count)
+        .unwrap();
+        assert_eq!(report.matches, expected, "{}", kind.name());
+    }
+}
+
+#[test]
+fn every_load_balance_strategy_is_correct() {
+    let graph = gen::barabasi_albert(800, 7, 23);
+    let query = Pattern::ChordalSquare.query_graph();
+    let expected = naive::enumerate(&graph, &query);
+    for lb in [
+        LoadBalance::WorkStealing,
+        LoadBalance::None,
+        LoadBalance::RegionGroup,
+    ] {
+        let report = HugeCluster::build(
+            graph.clone(),
+            ClusterConfig::new(3).workers(3).load_balance(lb),
+        )
+        .unwrap()
+        .run(&query, SinkMode::Count)
+        .unwrap();
+        assert_eq!(report.matches, expected, "{lb:?}");
+    }
+}
+
+#[test]
+fn pushing_plans_spill_and_still_count_correctly() {
+    // Force a plan with PUSH-JOIN (disable pulling) and a tiny join buffer so
+    // the Grace partitions spill to disk.
+    let graph = gen::erdos_renyi(300, 1_500, 41);
+    let query = Pattern::Path(5).query_graph();
+    let expected = naive::enumerate(&graph, &query);
+    let cluster = HugeCluster::build(
+        graph,
+        ClusterConfig::new(2).workers(2).join_buffer_bytes(2_048),
+    )
+    .unwrap();
+    let plan = cluster
+        .plan_with_options(
+            &query,
+            huge_plan::optimizer::OptimizerOptions {
+                disable_pulling: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let dataflow = huge_plan::translate::translate(&plan).unwrap();
+    assert!(dataflow.num_joins() >= 1, "expected a PUSH-JOIN in the plan");
+    let report = cluster.run_with_plan(&plan, SinkMode::Count).unwrap();
+    assert_eq!(report.matches, expected);
+    assert!(report.comm.bytes_pushed > 0);
+}
+
+#[test]
+fn inter_machine_stealing_keeps_counts_and_moves_work() {
+    // A very skewed graph: one hub machine owns most of the work.
+    let graph = gen::barabasi_albert(4_000, 10, 1);
+    let query = Pattern::Triangle.query_graph();
+    let expected = naive::enumerate(&graph, &query);
+    let report = HugeCluster::build(
+        graph,
+        ClusterConfig::new(4).workers(1).batch_size(512),
+    )
+    .unwrap()
+    .run(&query, SinkMode::Count)
+    .unwrap();
+    assert_eq!(report.matches, expected);
+    // Stealing is opportunistic; at least the counters must be consistent.
+    let stolen: u64 = report.machines.iter().map(|m| m.batches_stolen).sum();
+    assert_eq!(stolen, report.comm.steals + stolen - report.comm.steals);
+}
+
+#[test]
+fn fetch_time_is_a_small_fraction_of_total() {
+    // The two-stage execution's synchronisation overhead (fetch stage) must
+    // stay small relative to the total, as Table 5 reports.
+    let graph = gen::barabasi_albert(3_000, 8, 29);
+    let query = Pattern::FourClique.query_graph();
+    let report = HugeCluster::build(graph, ClusterConfig::new(2).workers(2))
+        .unwrap()
+        .run(&query, SinkMode::Count)
+        .unwrap();
+    assert!(report.fetch_time <= report.compute_time);
+}
