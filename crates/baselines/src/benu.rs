@@ -125,11 +125,7 @@ fn dfs(
     // Intersect the cached neighbour lists.
     let mut candidates: Option<Vec<VertexId>> = None;
     for &b in &bound {
-        if !cache.contains_key(&b) {
-            let nbrs = store.get(b);
-            cache.insert(b, nbrs);
-        }
-        let nbrs = &cache[&b];
+        let nbrs = &*cache.entry(b).or_insert_with(|| store.get(b));
         candidates = Some(match candidates {
             None => nbrs.clone(),
             Some(prev) => huge_graph::graph::intersect_sorted(&prev, nbrs),
@@ -203,6 +199,10 @@ mod tests {
         // Each machine pulls each vertex at most once thanks to its local
         // cache, so the pulled volume is at most k * |E| * 2 * 4 bytes.
         let bound = 2 * 2 * 2 * 4 * g.num_edges();
-        assert!(report.comm_bytes <= bound, "{} > {bound}", report.comm_bytes);
+        assert!(
+            report.comm_bytes <= bound,
+            "{} > {bound}",
+            report.comm_bytes
+        );
     }
 }

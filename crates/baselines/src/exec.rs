@@ -1,13 +1,19 @@
-//! Shared infrastructure for the baseline engines.
+//! Shared infrastructure for the baseline engines, built on the
+//! [`huge_core::exec`] batch-operator substrate.
 //!
 //! The baselines materialise their intermediate results in full (that is the
 //! behaviour the paper criticises), so the common substrate is a
-//! *distributed table*: one flat row buffer per machine plus the schema of
-//! query vertices bound by its columns. The operations on tables mirror the
-//! physical operators of the respective systems — star scans, pushing hash
-//! joins, pushing wco extensions and pulling star expansions — and every
-//! cross-machine byte is recorded against [`huge_comm::ClusterStats`]
-//! exactly as the HUGE engine does, so reports are directly comparable.
+//! *distributed table*: one [`RowBatch`] buffer per machine plus the schema
+//! of query vertices bound by its columns. The operations on tables mirror
+//! the physical operators of the respective systems — star scans, pushing
+//! hash joins, pushing wco extensions and pulling star expansions — and they
+//! execute through the same primitives as the HUGE engine: star scans are
+//! [`BatchOperator`] sources, distributed hash joins shuffle through the
+//! accounted [`huge_comm::Router`] and join with the shared
+//! [`huge_core::exec::PushJoin`], and pulls go through
+//! [`huge_comm::RpcFabric::get_nbrs`]. Every cross-machine byte is therefore
+//! charged to [`huge_comm::ClusterStats`] by exactly the code paths the HUGE
+//! engine uses, so reports are directly comparable.
 //!
 //! Execution note: machines are processed sequentially inside one thread
 //! (the baselines are far simpler than the HUGE engine); the measured wall
@@ -15,25 +21,45 @@
 //! BFS execution. This keeps the comparison conservative — the baselines are
 //! charged no synchronisation or skew overhead at all.
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use huge_comm::stats::ClusterStats;
+use huge_comm::{Router, RouterEndpoint, RowBatch, RpcFabric};
+use huge_core::exec::{
+    partition_by_key, partition_by_owner, run_pipeline, BatchOperator, OpContext, OpPoll, PushJoin,
+};
+use huge_core::join::{JoinSide, MemoryTrackerHandle};
+use huge_core::operators::passes_filters;
+use huge_core::pool::WorkerPool;
+use huge_core::{LoadBalance, Result};
 use huge_graph::{GraphPartition, VertexId};
+use huge_plan::translate::{JoinOp, OrderFilter};
 use huge_query::{PartialOrder, QueryGraph, QueryVertex};
+
+/// Default rows per batch for baseline execution.
+const DEFAULT_BATCH_SIZE: usize = 4096;
 
 /// A fully materialised, hash-distributed intermediate result.
 #[derive(Clone, Debug)]
 pub struct DistTable {
     /// Query vertices bound by each column.
     pub schema: Vec<QueryVertex>,
-    /// Flat row storage, one buffer per machine.
-    pub rows: Vec<Vec<VertexId>>,
+    /// Row storage, one batch buffer per machine.
+    pub rows: Vec<RowBatch>,
 }
 
 impl DistTable {
     /// An empty table over `k` machines.
     pub fn new(schema: Vec<QueryVertex>, k: usize) -> Self {
+        assert!(
+            !schema.is_empty(),
+            "a distributed table must bind at least one query vertex"
+        );
+        let arity = schema.len();
         DistTable {
             schema,
-            rows: vec![Vec::new(); k],
+            rows: (0..k).map(|_| RowBatch::new(arity)).collect(),
         }
     }
 
@@ -44,55 +70,62 @@ impl DistTable {
 
     /// Total number of rows across machines.
     pub fn total_rows(&self) -> u64 {
-        self.rows
-            .iter()
-            .map(|r| (r.len() / self.schema.len().max(1)) as u64)
-            .sum()
+        self.rows.iter().map(|r| r.len() as u64).sum()
     }
 
     /// Total bytes across machines.
     pub fn total_bytes(&self) -> u64 {
-        self.rows
-            .iter()
-            .map(|r| (r.len() * std::mem::size_of::<VertexId>()) as u64)
-            .sum()
+        self.rows.iter().map(|r| r.byte_size()).sum()
     }
 
     /// Largest per-machine byte footprint (contributes to the peak-memory
     /// metric).
     pub fn max_machine_bytes(&self) -> u64 {
-        self.rows
-            .iter()
-            .map(|r| (r.len() * std::mem::size_of::<VertexId>()) as u64)
-            .max()
-            .unwrap_or(0)
+        self.rows.iter().map(|r| r.byte_size()).max().unwrap_or(0)
     }
 
     /// Iterates the rows of one machine.
     pub fn machine_rows(&self, m: usize) -> impl Iterator<Item = &[VertexId]> {
-        let arity = self.schema.len().max(1);
-        self.rows[m].chunks_exact(arity)
+        self.rows[m].rows()
     }
 }
 
-/// Evaluation context shared by the baseline engines.
-pub struct BaselineCtx<'a> {
-    /// The cluster's graph partitions.
-    pub partitions: &'a [GraphPartition],
+/// Evaluation context shared by the baseline engines: the cluster's
+/// partitions plus the same accounted communication fabric the HUGE engine
+/// uses (router for pushes, RPC fabric for pulls).
+pub struct BaselineCtx {
+    partitions: Arc<Vec<GraphPartition>>,
     /// Traffic accounting (same counters the HUGE engine uses).
     pub stats: ClusterStats,
+    rpc: RpcFabric,
+    endpoints: Vec<RouterEndpoint>,
+    cache: huge_cache::LrbuCache,
+    pool: WorkerPool,
+    spill_dir: PathBuf,
+    batch_size: usize,
     /// The query's symmetry-breaking order.
     pub order: PartialOrder,
     /// Peak per-machine intermediate-result bytes observed so far.
     pub peak_memory: u64,
 }
 
-impl<'a> BaselineCtx<'a> {
-    /// Creates a context.
-    pub fn new(partitions: &'a [GraphPartition], query: &QueryGraph) -> Self {
+impl BaselineCtx {
+    /// Creates a context over the cluster's partitions.
+    pub fn new(partitions: Arc<Vec<GraphPartition>>, query: &QueryGraph) -> Self {
+        let k = partitions.len();
+        let stats = ClusterStats::new(k);
+        let rpc = RpcFabric::new(Arc::clone(&partitions), stats.clone());
+        let router = Router::new(k, stats.clone());
+        let endpoints = (0..k).map(|m| router.endpoint(m)).collect();
         BaselineCtx {
             partitions,
-            stats: ClusterStats::new(partitions.len()),
+            stats,
+            rpc,
+            endpoints,
+            cache: huge_cache::LrbuCache::new(0),
+            pool: WorkerPool::new(1, LoadBalance::None),
+            spill_dir: std::env::temp_dir().join(format!("huge-baselines-{}", std::process::id())),
+            batch_size: DEFAULT_BATCH_SIZE,
             order: query.order().clone(),
             peak_memory: 0,
         }
@@ -103,6 +136,29 @@ impl<'a> BaselineCtx<'a> {
         self.partitions.len()
     }
 
+    /// The cluster's partitions.
+    pub fn partitions(&self) -> &[GraphPartition] {
+        &self.partitions
+    }
+
+    /// The pulling fabric (accounted `GetNbrs`).
+    pub fn rpc(&self) -> &RpcFabric {
+        &self.rpc
+    }
+
+    /// The execution context of machine `m` for [`BatchOperator`]s.
+    pub fn op_context(&self, m: usize) -> OpContext<'_> {
+        OpContext {
+            machine: m,
+            partition: &self.partitions[m],
+            rpc: &self.rpc,
+            cache: &self.cache,
+            use_cache: false,
+            pool: &self.pool,
+            batch_size: self.batch_size,
+        }
+    }
+
     /// Records the footprint of a newly materialised table.
     pub fn note_table(&mut self, table: &DistTable) {
         self.peak_memory = self.peak_memory.max(table.max_machine_bytes());
@@ -110,64 +166,150 @@ impl<'a> BaselineCtx<'a> {
 
     /// The owner machine of a data vertex.
     pub fn owner(&self, v: VertexId) -> usize {
-        self.partitions[0].partition_map().owner(v)
+        self.rpc.owner(v)
     }
 
     /// Checks the symmetry constraints whose endpoints are both bound in
     /// `schema`.
     pub fn order_ok(&self, schema: &[QueryVertex], row: &[VertexId]) -> bool {
-        self.order.constraints().iter().all(|&(a, b)| {
+        passes_filters(row, &order_filters(&self.order, schema))
+    }
+
+    /// Pushes the rows of `batch` owned by machine `from` to `dest` through
+    /// the accounted router (free when `dest == from`, charged otherwise —
+    /// the same rule the HUGE engine's shuffles follow).
+    fn push_shuffled(&self, from: usize, dest: usize, tag: usize, batch: RowBatch) {
+        self.endpoints[from].push(dest, tag, batch);
+    }
+
+    /// Drains machine `m`'s router inbox into per-tag batch lists.
+    fn drain_inbox(&self, m: usize, arity_for_tag: &dyn Fn(usize) -> usize) -> Vec<RowBatch> {
+        let mut by_tag: Vec<RowBatch> = Vec::new();
+        for env in self.endpoints[m].drain() {
+            while by_tag.len() <= env.segment {
+                by_tag.push(RowBatch::new(arity_for_tag(by_tag.len())));
+            }
+            let mut batch = env.batch;
+            by_tag[env.segment].append(&mut batch);
+        }
+        by_tag
+    }
+}
+
+/// Translates the symmetry-breaking constraints whose endpoints are both
+/// bound in `schema` into positional [`OrderFilter`]s.
+pub fn order_filters(order: &PartialOrder, schema: &[QueryVertex]) -> Vec<OrderFilter> {
+    order
+        .constraints()
+        .iter()
+        .filter_map(|&(a, b)| {
             match (
                 schema.iter().position(|&x| x == a),
                 schema.iter().position(|&x| x == b),
             ) {
-                (Some(pa), Some(pb)) => row[pa] < row[pb],
-                _ => true,
+                (Some(pa), Some(pb)) => Some(OrderFilter {
+                    smaller: pa,
+                    larger: pb,
+                }),
+                _ => None,
             }
         })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Star scan: the baselines' source operator
+// ---------------------------------------------------------------------------
+
+/// A [`BatchOperator`] source enumerating the matches of a star
+/// `(root; leaves)` over one machine's local vertices (ordered, injective
+/// leaf assignments, symmetry filters applied).
+pub struct StarScan {
+    leaves: usize,
+    filters: Vec<OrderFilter>,
+    cursor: usize,
+    done: bool,
+}
+
+impl StarScan {
+    /// Creates the scan; `filters` are positional over `[root, leaves...]`.
+    pub fn new(leaves: usize, filters: Vec<OrderFilter>) -> Self {
+        StarScan {
+            leaves,
+            filters,
+            cursor: 0,
+            done: false,
+        }
+    }
+}
+
+impl BatchOperator for StarScan {
+    fn name(&self) -> &'static str {
+        "STAR-SCAN"
+    }
+
+    fn output_arity(&self) -> usize {
+        self.leaves + 1
+    }
+
+    fn poll_next(&mut self, ctx: &OpContext<'_>) -> Result<OpPoll> {
+        if self.done {
+            return Ok(OpPoll::Exhausted);
+        }
+        let arity = self.output_arity();
+        let locals = ctx.partition.local_vertices();
+        let mut batch = RowBatch::new(arity);
+        while self.cursor < locals.len() && batch.len() < ctx.batch_size {
+            let u = locals[self.cursor];
+            self.cursor += 1;
+            let nbrs = ctx.partition.local_neighbours(u);
+            let mut assignment: Vec<VertexId> = Vec::with_capacity(self.leaves);
+            let mut row = Vec::with_capacity(arity);
+            enumerate_leaf_tuples(u, nbrs, self.leaves, &mut assignment, &mut |leaf_vals| {
+                row.clear();
+                row.push(u);
+                row.extend_from_slice(leaf_vals);
+                if passes_filters(&row, &self.filters) {
+                    batch.push_row(&row);
+                }
+            });
+        }
+        if self.cursor >= locals.len() {
+            self.done = true;
+        }
+        if batch.is_empty() {
+            Ok(if self.done {
+                OpPoll::Exhausted
+            } else {
+                OpPoll::Pending
+            })
+        } else {
+            Ok(OpPoll::Ready(batch))
+        }
     }
 }
 
 /// Enumerates the matches of a star `(root; leaves)` as a distributed table:
-/// each machine materialises the stars rooted at its local vertices
-/// (ordered, injective leaf assignments).
+/// each machine materialises the stars rooted at its local vertices through
+/// a [`StarScan`] operator.
 pub fn scan_star(
-    ctx: &mut BaselineCtx<'_>,
+    ctx: &mut BaselineCtx,
     root: QueryVertex,
     leaves: &[QueryVertex],
-) -> DistTable {
+) -> Result<DistTable> {
     let mut schema = vec![root];
     schema.extend_from_slice(leaves);
-    let mut table = DistTable::new(schema.clone(), ctx.k());
-    for (m, partition) in ctx.partitions.iter().enumerate() {
+    let filters = order_filters(&ctx.order, &schema);
+    let mut table = DistTable::new(schema, ctx.k());
+    for m in 0..ctx.k() {
+        let op_ctx = ctx.op_context(m);
+        let mut scan = StarScan::new(leaves.len(), filters.clone());
         let out = &mut table.rows[m];
-        for &u in partition.local_vertices() {
-            let nbrs = partition.local_neighbours(u);
-            let mut assignment: Vec<VertexId> = Vec::with_capacity(leaves.len());
-            enumerate_leaf_tuples(u, nbrs, leaves.len(), &mut assignment, &mut |leaf_vals| {
-                let mut row = Vec::with_capacity(schema.len());
-                row.push(u);
-                row.extend_from_slice(leaf_vals);
-                if ctx_order_ok(&ctx.order, &schema, &row) {
-                    out.extend_from_slice(&row);
-                }
-            });
-        }
+        let mut ops: [&mut dyn BatchOperator; 1] = [&mut scan];
+        run_pipeline(&mut ops, &op_ctx, &mut |mut batch| out.append(&mut batch))?;
     }
     ctx.note_table(&table);
-    table
-}
-
-fn ctx_order_ok(order: &PartialOrder, schema: &[QueryVertex], row: &[VertexId]) -> bool {
-    order.constraints().iter().all(|&(a, b)| {
-        match (
-            schema.iter().position(|&x| x == a),
-            schema.iter().position(|&x| x == b),
-        ) {
-            (Some(pa), Some(pb)) => row[pa] < row[pb],
-            _ => true,
-        }
-    })
+    Ok(table)
 }
 
 /// Recursively enumerates ordered, injective leaf assignments from a
@@ -193,13 +335,18 @@ fn enumerate_leaf_tuples(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pushing hash join
+// ---------------------------------------------------------------------------
+
 /// A pushing distributed hash join: both sides are shuffled by the join key
-/// (bytes crossing machines are recorded), then joined per machine.
+/// through the accounted router, then joined per machine with the shared
+/// [`PushJoin`] operator.
 pub fn hash_join_pushing(
-    ctx: &mut BaselineCtx<'_>,
+    ctx: &mut BaselineCtx,
     left: &DistTable,
     right: &DistTable,
-) -> DistTable {
+) -> Result<DistTable> {
     let key: Vec<QueryVertex> = left
         .schema
         .iter()
@@ -225,107 +372,124 @@ pub fn hash_join_pushing(
     for &i in &payload_right {
         out_schema.push(right.schema[i]);
     }
+    let filters = order_filters(&ctx.order, &out_schema);
 
     let k = ctx.k();
-    // Shuffle both sides.
-    let shuffled_left = shuffle(ctx, left, &key_left);
-    let shuffled_right = shuffle(ctx, right, &key_right);
-
-    let mut output = DistTable::new(out_schema.clone(), k);
+    const LEFT_TAG: usize = 0;
+    const RIGHT_TAG: usize = 1;
+    // Shuffle both sides by key hash through the router: bytes crossing
+    // machines are charged there, one message per batch of at most
+    // `batch_size` rows — the same batch granularity the HUGE engine ships,
+    // which is what makes the reported message counts comparable.
     for m in 0..k {
-        // Build on the right, probe with the left.
-        let mut table: std::collections::HashMap<Vec<VertexId>, Vec<usize>> =
-            std::collections::HashMap::new();
-        let r_arity = right.arity();
-        for (idx, row) in shuffled_right[m].chunks_exact(r_arity).enumerate() {
-            let kv: Vec<VertexId> = key_right.iter().map(|&p| row[p]).collect();
-            table.entry(kv).or_default().push(idx);
-        }
-        let l_arity = left.arity();
-        let out = &mut output.rows[m];
-        for lrow in shuffled_left[m].chunks_exact(l_arity) {
-            let kv: Vec<VertexId> = key_left.iter().map(|&p| lrow[p]).collect();
-            if let Some(matches) = table.get(&kv) {
-                for &ridx in matches {
-                    let rrow = &shuffled_right[m][ridx * r_arity..(ridx + 1) * r_arity];
-                    if payload_right.iter().any(|&p| lrow.contains(&rrow[p])) {
-                        continue;
-                    }
-                    let mut joined = Vec::with_capacity(out_schema.len());
-                    joined.extend_from_slice(lrow);
-                    for &p in &payload_right {
-                        joined.push(rrow[p]);
-                    }
-                    if ctx.order_ok(&out_schema, &joined) {
-                        out.extend_from_slice(&joined);
-                    }
+        for (tag, table, keys) in [(LEFT_TAG, left, &key_left), (RIGHT_TAG, right, &key_right)] {
+            for (dest, part) in partition_by_key(&table.rows[m], keys, k)
+                .into_iter()
+                .enumerate()
+            {
+                for chunk in part.split_into_chunks(ctx.batch_size) {
+                    ctx.push_shuffled(m, dest, tag, chunk);
                 }
             }
         }
     }
-    ctx.note_table(&output);
-    output
-}
 
-/// Shuffles a table by key hash, recording the bytes that change machines.
-fn shuffle(ctx: &BaselineCtx<'_>, table: &DistTable, key_positions: &[usize]) -> Vec<Vec<VertexId>> {
-    let k = ctx.k();
-    let arity = table.arity();
-    let mut out: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+    let mut output = DistTable::new(out_schema, k);
     for m in 0..k {
-        for row in table.machine_rows(m) {
-            let mut h = 0xcbf2_9ce4_8422_2325u64;
-            for &p in key_positions {
-                h ^= row[p] as u64;
-                h = h.wrapping_mul(0x1000_0000_01b3);
-            }
-            let dest = (h as usize) % k;
-            if dest != m {
-                ctx.stats
-                    .machine(m)
-                    .record_push((arity * std::mem::size_of::<VertexId>()) as u64);
-            }
-            out[dest].extend_from_slice(row);
+        let arities = [left.arity(), right.arity()];
+        let mut by_tag = ctx.drain_inbox(m, &|tag| arities.get(tag).copied().unwrap_or(1));
+        while by_tag.len() < 2 {
+            by_tag.push(RowBatch::new(arities[by_tag.len()]));
+        }
+        let op_ctx = ctx.op_context(m);
+        let mut join = PushJoin::new(
+            JoinOp {
+                left: LEFT_TAG,
+                right: RIGHT_TAG,
+                key_left: key_left.clone(),
+                key_right: key_right.clone(),
+                right_payload: payload_right.clone(),
+                filters: filters.clone(),
+            },
+            left.arity(),
+            right.arity(),
+            // The baselines materialise everything in memory (the behaviour
+            // the paper criticises) — never spill.
+            u64::MAX / 2,
+            ctx.spill_dir.clone(),
+            MemoryTrackerHandle::Untracked,
+            ctx.batch_size,
+        );
+        join.push_side(JoinSide::Left, &by_tag[LEFT_TAG])?;
+        join.push_side(JoinSide::Right, &by_tag[RIGHT_TAG])?;
+        join.finish_input(&op_ctx)?;
+        let out = &mut output.rows[m];
+        while let OpPoll::Ready(mut batch) = join.poll_next(&op_ctx)? {
+            out.append(&mut batch);
         }
     }
-    out
+    ctx.note_table(&output);
+    Ok(output)
 }
+
+// ---------------------------------------------------------------------------
+// Pushing wco extension
+// ---------------------------------------------------------------------------
 
 /// BiGJoin's pushing wco extension: every partial result is routed to the
 /// owners of the vertices whose neighbourhoods are intersected (one hop per
-/// backward neighbour), then extended by the intersection. The result is
-/// placed on the machine owning the last-visited vertex.
+/// backward neighbour, moved batch-wise through the accounted router), then
+/// extended by the intersection at the last-visited machine.
 pub fn wco_extend_pushing(
-    ctx: &mut BaselineCtx<'_>,
+    ctx: &mut BaselineCtx,
     input: &DistTable,
     target: QueryVertex,
     backward: &[QueryVertex],
-) -> DistTable {
+) -> Result<DistTable> {
     let positions: Vec<usize> = backward
         .iter()
         .map(|v| input.schema.iter().position(|x| x == v).expect("bound"))
         .collect();
     let mut out_schema = input.schema.clone();
     out_schema.push(target);
+    let filters = order_filters(&ctx.order, &out_schema);
     let k = ctx.k();
-    let mut output = DistTable::new(out_schema.clone(), k);
-    let arity = input.arity();
-    for m in 0..k {
-        for row in input.machine_rows(m) {
-            // Route the partial result through the owners of the vertices
-            // being intersected (charging one push per hop that leaves the
-            // current machine).
-            let mut at = m;
-            for &p in &positions {
-                let owner = ctx.owner(row[p]);
-                if owner != at {
-                    ctx.stats
-                        .machine(at)
-                        .record_push((arity * std::mem::size_of::<VertexId>()) as u64);
-                    at = owner;
+    const WCO_TAG: usize = 0;
+
+    // Route the partial results hop by hop through the owners of the
+    // vertices being intersected. Every row crossing machines is charged the
+    // same bytes the original system's per-row walk would ship; messages are
+    // counted per batch (not per row), matching the granularity the HUGE
+    // engine's router reports so the two are comparable.
+    let mut current: Vec<RowBatch> = input.rows.clone();
+    for &p in &positions {
+        let arity = input.arity();
+        let mut next: Vec<RowBatch> = (0..k).map(|_| RowBatch::new(arity)).collect();
+        for (m, buffered) in current.into_iter().enumerate() {
+            for chunk in buffered.split_into_chunks(ctx.batch_size) {
+                for (dest, part) in partition_by_owner(&chunk, p, ctx.rpc(), k)
+                    .into_iter()
+                    .enumerate()
+                {
+                    ctx.push_shuffled(m, dest, WCO_TAG, part);
                 }
             }
-            // Intersect the neighbourhoods (served locally at each hop).
+        }
+        for (dest, bucket) in next.iter_mut().enumerate() {
+            for env in ctx.endpoints[dest].drain() {
+                let mut batch = env.batch;
+                bucket.append(&mut batch);
+            }
+        }
+        current = next;
+    }
+
+    // Extend at the final machine: intersect the neighbourhoods (each list
+    // was owned by one of the visited machines).
+    let mut output = DistTable::new(out_schema, k);
+    for (m, buffered) in current.iter().enumerate() {
+        let out = &mut output.rows[m];
+        for row in buffered.rows() {
             let mut candidates: Option<Vec<VertexId>> = None;
             for &p in &positions {
                 let nbrs = ctx.partitions[0].any_neighbours(row[p]);
@@ -334,21 +498,22 @@ pub fn wco_extend_pushing(
                     Some(prev) => huge_graph::graph::intersect_sorted(&prev, nbrs),
                 });
             }
+            let mut joined = Vec::with_capacity(row.len() + 1);
             for c in candidates.unwrap_or_default() {
                 if row.contains(&c) {
                     continue;
                 }
-                let mut joined = Vec::with_capacity(out_schema.len());
+                joined.clear();
                 joined.extend_from_slice(row);
                 joined.push(c);
-                if ctx.order_ok(&out_schema, &joined) {
-                    output.rows[at].extend_from_slice(&joined);
+                if passes_filters(&joined, &filters) {
+                    out.push_row(&joined);
                 }
             }
         }
     }
     ctx.note_table(&output);
-    output
+    Ok(output)
 }
 
 #[cfg(test)]
@@ -357,16 +522,16 @@ mod tests {
     use huge_graph::{gen, Partitioner};
     use huge_query::Pattern;
 
-    fn parts(k: usize) -> Vec<GraphPartition> {
-        Partitioner::new(k).unwrap().partition(gen::complete(6))
+    fn parts(k: usize) -> Arc<Vec<GraphPartition>> {
+        Arc::new(Partitioner::new(k).unwrap().partition(gen::complete(6)))
     }
 
     #[test]
     fn scan_star_counts_ordered_tuples() {
         let parts = parts(2);
         let q = Pattern::Star(2).query_graph_unordered();
-        let mut ctx = BaselineCtx::new(&parts, &q);
-        let table = scan_star(&mut ctx, 0, &[1, 2]);
+        let mut ctx = BaselineCtx::new(parts, &q);
+        let table = scan_star(&mut ctx, 0, &[1, 2]).unwrap();
         // K6: each root has 5 neighbours -> 5 * 4 ordered pairs, 6 roots.
         assert_eq!(table.total_rows(), 6 * 20);
         assert!(ctx.peak_memory > 0);
@@ -377,10 +542,10 @@ mod tests {
         // Square = path(1-0-3) ⋈ path(1-2-3), joined on {1, 3}.
         let parts = parts(2);
         let q = Pattern::Square.query_graph();
-        let mut ctx = BaselineCtx::new(&parts, &q);
-        let left = scan_star(&mut ctx, 0, &[1, 3]);
-        let right = scan_star(&mut ctx, 2, &[1, 3]);
-        let joined = hash_join_pushing(&mut ctx, &left, &right);
+        let mut ctx = BaselineCtx::new(parts, &q);
+        let left = scan_star(&mut ctx, 0, &[1, 3]).unwrap();
+        let right = scan_star(&mut ctx, 2, &[1, 3]).unwrap();
+        let joined = hash_join_pushing(&mut ctx, &left, &right).unwrap();
         let expected = huge_query::naive::enumerate(&gen::complete(6), &q);
         assert_eq!(joined.total_rows(), expected);
         assert!(ctx.stats.total().bytes_pushed > 0);
@@ -390,9 +555,9 @@ mod tests {
     fn wco_extension_counts_triangles() {
         let parts = parts(3);
         let q = Pattern::Triangle.query_graph();
-        let mut ctx = BaselineCtx::new(&parts, &q);
-        let edges = scan_star(&mut ctx, 0, &[1]);
-        let triangles = wco_extend_pushing(&mut ctx, &edges, 2, &[0, 1]);
+        let mut ctx = BaselineCtx::new(parts, &q);
+        let edges = scan_star(&mut ctx, 0, &[1]).unwrap();
+        let triangles = wco_extend_pushing(&mut ctx, &edges, 2, &[0, 1]).unwrap();
         // K6 has C(6,3) = 20 triangles.
         assert_eq!(triangles.total_rows(), 20);
     }
@@ -401,9 +566,24 @@ mod tests {
     fn order_constraints_are_applied_when_bound() {
         let parts = parts(1);
         let q = Pattern::Star(2).query_graph(); // order breaks leaf symmetry
-        let mut ctx = BaselineCtx::new(&parts, &q);
-        let table = scan_star(&mut ctx, 0, &[1, 2]);
+        let mut ctx = BaselineCtx::new(parts, &q);
+        let table = scan_star(&mut ctx, 0, &[1, 2]).unwrap();
         // With symmetry breaking only half of the ordered pairs survive.
         assert_eq!(table.total_rows(), 6 * 10);
+    }
+
+    #[test]
+    fn empty_graph_produces_empty_tables() {
+        let g = huge_graph::Graph::from_edges(Vec::<(u32, u32)>::new());
+        let parts = Arc::new(Partitioner::new(2).unwrap().partition(g));
+        let q = Pattern::Triangle.query_graph();
+        let mut ctx = BaselineCtx::new(parts, &q);
+        let table = scan_star(&mut ctx, 0, &[1]).unwrap();
+        assert_eq!(table.total_rows(), 0);
+        let extended = wco_extend_pushing(&mut ctx, &table, 2, &[0, 1]).unwrap();
+        assert_eq!(extended.total_rows(), 0);
+        let joined = hash_join_pushing(&mut ctx, &table, &extended).unwrap();
+        assert_eq!(joined.total_rows(), 0);
+        assert_eq!(ctx.stats.total().total_bytes(), 0);
     }
 }

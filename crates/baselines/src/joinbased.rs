@@ -30,8 +30,9 @@ fn run_join_based(
     query: &QueryGraph,
 ) -> Result<RunReport> {
     let plan = native_plan(system, query)?;
-    let partitions = Partitioner::new(config.machines)?.partition(graph.clone());
-    let mut ctx = BaselineCtx::new(&partitions, query);
+    let partitions =
+        std::sync::Arc::new(Partitioner::new(config.machines)?.partition(graph.clone()));
+    let mut ctx = BaselineCtx::new(partitions, query);
     let start = Instant::now();
     let result = eval_node(&mut ctx, query, &plan.tree.root)?;
     let matches = result.total_rows();
@@ -52,17 +53,13 @@ fn run_join_based(
 }
 
 /// Recursively evaluates a join tree with the baseline's physical operators.
-fn eval_node(
-    ctx: &mut BaselineCtx<'_>,
-    query: &QueryGraph,
-    node: &JoinNode,
-) -> Result<DistTable> {
+fn eval_node(ctx: &mut BaselineCtx, query: &QueryGraph, node: &JoinNode) -> Result<DistTable> {
     match node {
         JoinNode::Unit(sub) => {
             let (root, leaves) = sub
                 .as_star(query)
                 .ok_or(EngineError::Config("baseline unit is not a star".into()))?;
-            Ok(scan_star(ctx, root, &leaves))
+            scan_star(ctx, root, &leaves)
         }
         JoinNode::Join {
             left,
@@ -88,11 +85,11 @@ fn eval_node(
                     {
                         std::mem::swap(&mut target, &mut backward[0]);
                     }
-                    Ok(wco_extend_pushing(ctx, &left_table, target, &backward))
+                    wco_extend_pushing(ctx, &left_table, target, &backward)
                 }
                 JoinAlgorithm::Hash => {
                     let right_table = eval_node(ctx, query, right)?;
-                    Ok(hash_join_pushing(ctx, &left_table, &right_table))
+                    hash_join_pushing(ctx, &left_table, &right_table)
                 }
             }
         }

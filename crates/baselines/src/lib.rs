@@ -109,7 +109,8 @@ mod tests {
             for baseline in Baseline::ALL {
                 let report = baseline.run(&graph, &query, &config).unwrap();
                 assert_eq!(
-                    report.matches, expected,
+                    report.matches,
+                    expected,
                     "{} on {:?}",
                     baseline.name(),
                     pattern

@@ -34,8 +34,9 @@ impl Rads {
     /// Enumerates `query` on `graph`.
     pub fn run(&self, graph: &Graph, query: &QueryGraph) -> Result<RunReport> {
         let plan = native_plan(BaselineSystem::Rads, query)?;
-        let partitions = Partitioner::new(self.config.machines)?.partition(graph.clone());
-        let mut ctx = BaselineCtx::new(&partitions, query);
+        let partitions =
+            std::sync::Arc::new(Partitioner::new(self.config.machines)?.partition(graph.clone()));
+        let mut ctx = BaselineCtx::new(partitions, query);
         let start = Instant::now();
 
         // RADS' plan is left-deep: flatten it into the initial star plus the
@@ -64,7 +65,7 @@ impl Rads {
         let (root, leaves) = first
             .as_star(query)
             .ok_or(EngineError::Config("RADS unit is not a star".into()))?;
-        let mut table = scan_star(&mut ctx, root, &leaves);
+        let mut table = scan_star(&mut ctx, root, &leaves)?;
 
         // Expansion / verification rounds.
         for step in &steps[1..] {
@@ -75,7 +76,9 @@ impl Rads {
             // A single-edge star is rooted at its lower-id endpoint by
             // convention; RADS expands from whichever endpoint is already
             // matched, so re-orient if needed.
-            if !table.schema.contains(&root) && leaves.len() == 1 && table.schema.contains(&leaves[0])
+            if !table.schema.contains(&root)
+                && leaves.len() == 1
+                && table.schema.contains(&leaves[0])
             {
                 std::mem::swap(&mut root, &mut leaves[0]);
             }
@@ -102,7 +105,7 @@ impl Rads {
 /// `root`, pulling the root's adjacency list when it is remote. Bound leaves
 /// are verified; unbound leaves are enumerated injectively.
 fn expand_star_pulling(
-    ctx: &mut BaselineCtx<'_>,
+    ctx: &mut BaselineCtx,
     input: &DistTable,
     root: QueryVertex,
     leaves: &[QueryVertex],
@@ -129,23 +132,20 @@ fn expand_star_pulling(
     for m in 0..k {
         // Per-machine cache of pulled adjacency lists (RADS caches within a
         // region group; we grant it a whole-machine cache, which is
-        // generous).
+        // generous). Fetches go through the shared RPC fabric, which charges
+        // remote pulls exactly as the HUGE engine's `PULL-EXTEND` is charged.
         let mut cache: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
         let out = &mut output.rows[m];
         for row in input.machine_rows(m) {
             let anchor = row[root_pos];
-            let owner = ctx.partitions[0].partition_map().owner(anchor);
-            if !cache.contains_key(&anchor) {
-                let nbrs = ctx.partitions[0].any_neighbours(anchor).to_vec();
-                if owner != m {
-                    ctx.stats.machine(m).record_pull(
-                        1,
-                        (nbrs.len() * std::mem::size_of::<VertexId>() + 12) as u64,
-                    );
-                }
-                cache.insert(anchor, nbrs);
-            }
-            let nbrs = &cache[&anchor];
+            let nbrs = &*cache.entry(anchor).or_insert_with(|| {
+                ctx.rpc()
+                    .get_nbrs(m, &[anchor])
+                    .into_iter()
+                    .next()
+                    .map(|(_, nbrs)| nbrs)
+                    .unwrap_or_default()
+            });
             // Verification of already-bound leaves.
             let verified = bound
                 .iter()
@@ -160,7 +160,7 @@ fn expand_star_pulling(
                 joined.extend_from_slice(row);
                 joined.extend_from_slice(vals);
                 if ctx_order_ok(ctx, &out_schema, &joined) {
-                    out.extend_from_slice(&joined);
+                    out.push_row(&joined);
                 }
             });
         }
@@ -169,7 +169,7 @@ fn expand_star_pulling(
     output
 }
 
-fn ctx_order_ok(ctx: &BaselineCtx<'_>, schema: &[QueryVertex], row: &[VertexId]) -> bool {
+fn ctx_order_ok(ctx: &BaselineCtx, schema: &[QueryVertex], row: &[VertexId]) -> bool {
     ctx.order_ok(schema, row)
 }
 

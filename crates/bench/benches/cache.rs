@@ -31,15 +31,19 @@ fn bench_cache_reads(c: &mut Criterion) {
         .collect();
     for kind in CacheKind::ALL {
         let cache = prepare(kind, entries, 32);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &cache, |b, cache| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for &v in &accesses {
-                    cache.read(v, &mut |nbrs| acc += nbrs[0] as u64);
-                }
-                acc
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &cache,
+            |b, cache| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for &v in &accesses {
+                        cache.read(v, &mut |nbrs| acc += nbrs[0] as u64);
+                    }
+                    acc
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -18,22 +18,13 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(4));
     for pattern in [Pattern::Square, Pattern::FourClique] {
         let query = pattern.query_graph();
-        group.bench_with_input(
-            BenchmarkId::new("HUGE", pattern.name()),
-            &query,
-            |b, q| b.iter(|| cluster.run(q, SinkMode::Count).unwrap().matches),
-        );
+        group.bench_with_input(BenchmarkId::new("HUGE", pattern.name()), &query, |b, q| {
+            b.iter(|| cluster.run(q, SinkMode::Count).unwrap().matches)
+        });
         group.bench_with_input(
             BenchmarkId::new("BiGJoin", pattern.name()),
             &query,
-            |b, q| {
-                b.iter(|| {
-                    Baseline::BigJoin
-                        .run(&graph, q, &config)
-                        .unwrap()
-                        .matches
-                })
-            },
+            |b, q| b.iter(|| Baseline::BigJoin.run(&graph, q, &config).unwrap().matches),
         );
         group.bench_with_input(BenchmarkId::new("SEED", pattern.name()), &query, |b, q| {
             b.iter(|| Baseline::Seed.run(&graph, q, &config).unwrap().matches)

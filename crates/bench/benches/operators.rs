@@ -39,7 +39,10 @@ fn bench_scan_and_extend(c: &mut Criterion) {
             let scan = ScanOp {
                 src: 0,
                 dst: 1,
-                filters: vec![OrderFilter { smaller: 0, larger: 1 }],
+                filters: vec![OrderFilter {
+                    smaller: 0,
+                    larger: 1,
+                }],
             };
             let mut cursor =
                 ScanCursor::new(scan, ScanPool::new(partitions[0].local_vertices(), 1024));
@@ -55,7 +58,10 @@ fn bench_scan_and_extend(c: &mut Criterion) {
     let scan = ScanOp {
         src: 0,
         dst: 1,
-        filters: vec![OrderFilter { smaller: 0, larger: 1 }],
+        filters: vec![OrderFilter {
+            smaller: 0,
+            larger: 1,
+        }],
     };
     let mut cursor = ScanCursor::new(scan, ScanPool::new(partitions[0].local_vertices(), 1024));
     let input = cursor.next_batch(&ctx).expect("scan batch");
@@ -63,7 +69,10 @@ fn bench_scan_and_extend(c: &mut Criterion) {
         target: 2,
         ext_positions: vec![0, 1],
         verify_position: None,
-        filters: vec![OrderFilter { smaller: 1, larger: 2 }],
+        filters: vec![OrderFilter {
+            smaller: 1,
+            larger: 2,
+        }],
         comm: CommMode::Pulling,
     };
     group.bench_function("pull_extend_triangle", |b| {

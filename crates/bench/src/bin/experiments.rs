@@ -106,13 +106,23 @@ fn guarded_native(
     let estimator = HybridEstimator::from_graph(graph);
     let plan = huge_plan::baselines::native_plan(system, query).ok()?;
     let mut worst: f64 = 0.0;
-    fn walk(node: &huge_plan::logical::JoinNode, q: &huge_query::QueryGraph, est: &HybridEstimator, worst: &mut f64) {
+    fn walk(
+        node: &huge_plan::logical::JoinNode,
+        q: &huge_query::QueryGraph,
+        est: &HybridEstimator,
+        worst: &mut f64,
+    ) {
         use huge_plan::cost::CardinalityEstimator;
         match node {
             huge_plan::logical::JoinNode::Unit(sub) => {
                 *worst = worst.max(est.estimate(q, sub));
             }
-            huge_plan::logical::JoinNode::Join { output, left, right, .. } => {
+            huge_plan::logical::JoinNode::Join {
+                output,
+                left,
+                right,
+                ..
+            } => {
                 *worst = worst.max(est.estimate(q, output));
                 walk(left, q, est, worst);
                 walk(right, q, est, worst);
@@ -131,7 +141,9 @@ fn table1(opts: &Options) {
     let graph = load_dataset(DatasetKind::Lj, opts.scale);
     let query = paper_query(1);
     let config = default_config(opts.machines);
-    let mut table = TextTable::new(vec!["system", "T(s)", "T_R(s)", "T_C(s)", "C(MiB)", "M(MiB)"]);
+    let mut table = TextTable::new(vec![
+        "system", "T(s)", "T_R(s)", "T_C(s)", "C(MiB)", "M(MiB)",
+    ]);
     for baseline in [
         Baseline::Seed,
         Baseline::BigJoin,
@@ -193,8 +205,7 @@ fn exp1(opts: &Options) {
                         secs(report.total_time()),
                         format!(
                             "{:.1}x",
-                            report.total_time().as_secs_f64()
-                                / plugged.total_time().as_secs_f64()
+                            report.total_time().as_secs_f64() / plugged.total_time().as_secs_f64()
                         ),
                     )
                 }
@@ -282,7 +293,9 @@ fn exp3(opts: &Options) {
 /// Exp-4 (Fig. 7): effect of the batch size (cache disabled).
 fn exp4(opts: &Options) {
     let graph = load_dataset(DatasetKind::Uk, opts.scale);
-    let mut table = TextTable::new(vec!["query", "batch", "T(s)", "T_C(s)", "C(MiB)", "net util"]);
+    let mut table = TextTable::new(vec![
+        "query", "batch", "T(s)", "T_C(s)", "C(MiB)", "net util",
+    ]);
     for qi in [1usize, 3] {
         let query = paper_query(qi);
         for batch in [2_000usize, 8_000, 32_000, 128_000] {

@@ -43,7 +43,7 @@ impl Shard {
 }
 
 fn entry_bytes(nbrs: &[VertexId]) -> u64 {
-    (nbrs.len() * std::mem::size_of::<VertexId>() + 16) as u64
+    (std::mem::size_of_val(nbrs) + 16) as u64
 }
 
 /// A sharded, locking, copy-on-read LRU cache without batch pinning.

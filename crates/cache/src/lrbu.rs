@@ -81,7 +81,7 @@ impl LrbuCache {
     }
 
     fn entry_bytes(neighbours: &[VertexId]) -> u64 {
-        (neighbours.len() * std::mem::size_of::<VertexId>() + 16) as u64
+        (std::mem::size_of_val(neighbours) + 16) as u64
     }
 }
 

@@ -3,10 +3,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use huge_graph::VertexId;
-use serde::{Deserialize, Serialize};
 
 /// Counters reported by every cache implementation.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Reads that found the vertex in the cache.
     pub hits: u64,

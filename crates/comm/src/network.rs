@@ -9,12 +9,10 @@
 
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
-
 use crate::stats::CommSnapshot;
 
 /// Bandwidth/latency model used to convert traffic counts into time.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct NetworkModel {
     /// Usable network bandwidth in bytes per second (per machine NIC).
     pub bandwidth_bytes_per_sec: f64,
@@ -49,8 +47,8 @@ impl NetworkModel {
     /// Modelled time to transfer `bytes` in `messages` messages.
     pub fn time_for(&self, bytes: u64, messages: u64) -> Duration {
         let transfer = bytes as f64 / self.bandwidth_bytes_per_sec / self.machines as f64;
-        let latency = self.latency_per_message.as_secs_f64() * messages as f64
-            / self.machines as f64;
+        let latency =
+            self.latency_per_message.as_secs_f64() * messages as f64 / self.machines as f64;
         Duration::from_secs_f64(transfer + latency)
     }
 

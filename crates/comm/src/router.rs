@@ -93,7 +93,9 @@ impl RouterEndpoint {
             return;
         }
         if to != self.machine {
-            self.stats.machine(self.machine).record_push(batch.byte_size());
+            self.stats
+                .machine(self.machine)
+                .record_push(batch.byte_size());
         }
         // The receiver can only disappear when the destination machine has
         // already terminated, in which case the data is no longer needed.

@@ -3,8 +3,6 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// Traffic counters of one machine. All counters are monotonically
 /// increasing and safe to update from any worker thread.
 #[derive(Debug, Default)]
@@ -66,7 +64,7 @@ impl CommStats {
 }
 
 /// A point-in-time copy of [`CommStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CommSnapshot {
     /// Bytes of intermediate results pushed to other machines.
     pub bytes_pushed: u64,

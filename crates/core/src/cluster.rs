@@ -146,10 +146,9 @@ impl HugeCluster {
             // Cross-machine shared state for this segment.
             let scan_pools: Vec<ScanPool> = (0..k)
                 .map(|m| match &plan.segment.source {
-                    SegmentSource::Scan(_) => ScanPool::new(
-                        self.partitions[m].local_vertices(),
-                        SCAN_CHUNK_VERTICES,
-                    ),
+                    SegmentSource::Scan(_) => {
+                        ScanPool::new(self.partitions[m].local_vertices(), SCAN_CHUNK_VERTICES)
+                    }
                     SegmentSource::Join(_) => ScanPool::empty(),
                 })
                 .collect();
@@ -174,7 +173,6 @@ impl HugeCluster {
                 let mut handles = Vec::with_capacity(k);
                 for state in machines.iter_mut() {
                     let shared = &shared;
-                    let plan = plan;
                     handles.push(scope.spawn(move || state.run_segment(plan, shared, sink)));
                 }
                 for handle in handles {

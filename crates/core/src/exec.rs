@@ -1,0 +1,549 @@
+//! The shared batch-operator substrate.
+//!
+//! Every engine in this workspace — the HUGE engine itself *and* the
+//! baseline systems in `huge-baselines` — executes physical operators over
+//! [`RowBatch`]es through this module:
+//!
+//! * [`OpContext`] bundles what any operator needs from the machine it runs
+//!   on: the graph partition, the pulling fabric, the adjacency cache, the
+//!   worker pool and the batch size.
+//! * [`BatchOperator`] is the uniform operator interface: inputs are pushed
+//!   in as batches, outputs are polled out as batches ([`OpPoll`]).
+//! * [`ScanSource`], [`PullExtend`] and [`PushJoin`] are the HUGE operators
+//!   (`SCAN`, `PULL-EXTEND`, `PUSH-JOIN`) behind that interface. The
+//!   baselines add their own sources (e.g. star scans) in their crate but
+//!   reuse [`PushJoin`] and the routing utilities below.
+//! * [`partition_by_key`] hash-partitions a batch over machines; callers
+//!   move the resulting per-destination batches through the accounted
+//!   `huge-comm` fabric (`RouterEndpoint::push` / `RpcFabric::get_nbrs`), so
+//!   every engine's traffic is charged to [`huge_comm::ClusterStats`] by the
+//!   same code path and the reported `C`/`T_C` columns are comparable.
+//! * [`run_pipeline`] is a simple breadth-first driver (poll a stage to
+//!   exhaustion, feed the next) used by the BFS-style baselines and by
+//!   tests; the HUGE engine drives the same operators with its own
+//!   BFS/DFS-adaptive scheduler in [`crate::machine`].
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use huge_cache::PullCache;
+use huge_comm::{MachineId, RowBatch, RpcFabric};
+use huge_graph::GraphPartition;
+use huge_plan::translate::{ExtendOp, JoinOp, ScanOp};
+
+use crate::join::{key_hash, HashJoiner, JoinSide, MemoryTrackerHandle};
+use crate::operators::{run_extend, ScanCursor, ScanPool};
+use crate::pool::WorkerPool;
+use crate::{EngineError, Result};
+
+/// Everything an operator needs from its machine.
+pub struct OpContext<'a> {
+    /// The machine executing the operator.
+    pub machine: MachineId,
+    /// The machine's graph partition.
+    pub partition: &'a GraphPartition,
+    /// The pulling fabric (accounted `GetNbrs`).
+    pub rpc: &'a RpcFabric,
+    /// The machine's adjacency cache.
+    pub cache: &'a dyn PullCache,
+    /// `false` disables the cache (every remote list is fetched per batch).
+    pub use_cache: bool,
+    /// The machine's worker pool.
+    pub pool: &'a WorkerPool,
+    /// Rows per output batch.
+    pub batch_size: usize,
+}
+
+/// The result of polling a [`BatchOperator`] for output.
+#[derive(Debug)]
+pub enum OpPoll {
+    /// A batch of output rows was produced.
+    Ready(RowBatch),
+    /// No output is available now, but more input may still arrive.
+    Pending,
+    /// The operator has produced everything it ever will.
+    Exhausted,
+}
+
+/// The uniform physical-operator interface: push input batches in, poll
+/// output batches out.
+///
+/// Sources ignore `push_input`; unary operators take input through it;
+/// binary operators (joins) expose side-specific feeds as inherent methods
+/// and use [`BatchOperator::finish_input`] to seal both sides.
+pub trait BatchOperator {
+    /// Operator name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Arity of the output rows.
+    fn output_arity(&self) -> usize;
+
+    /// Feeds one input batch. The default rejects input (source operators).
+    fn push_input(&mut self, input: RowBatch, ctx: &OpContext<'_>) -> Result<()> {
+        let _ = (input, ctx);
+        Err(EngineError::Config(format!(
+            "{} is a source operator and takes no input",
+            self.name()
+        )))
+    }
+
+    /// Signals that no further input will arrive.
+    fn finish_input(&mut self, ctx: &OpContext<'_>) -> Result<()> {
+        let _ = ctx;
+        Ok(())
+    }
+
+    /// Polls for the next output batch.
+    fn poll_next(&mut self, ctx: &OpContext<'_>) -> Result<OpPoll>;
+}
+
+// ---------------------------------------------------------------------------
+// SCAN
+// ---------------------------------------------------------------------------
+
+/// The `SCAN` source behind the [`BatchOperator`] interface.
+///
+/// Wraps a [`ScanCursor`] over a (stealable) [`ScanPool`]; each poll yields
+/// one batch of `[src, dst]` edge rows.
+pub struct ScanSource {
+    cursor: ScanCursor,
+}
+
+impl ScanSource {
+    /// Creates a scan over a pool of vertices.
+    pub fn new(op: ScanOp, pool: ScanPool) -> Self {
+        ScanSource {
+            cursor: ScanCursor::new(op, pool),
+        }
+    }
+
+    /// `true` while the scan may still produce batches (own or stolen work).
+    pub fn has_more(&self) -> bool {
+        self.cursor.has_more()
+    }
+}
+
+impl BatchOperator for ScanSource {
+    fn name(&self) -> &'static str {
+        "SCAN"
+    }
+
+    fn output_arity(&self) -> usize {
+        2
+    }
+
+    fn poll_next(&mut self, ctx: &OpContext<'_>) -> Result<OpPoll> {
+        match self.cursor.next_batch(ctx) {
+            Some(batch) => Ok(OpPoll::Ready(batch)),
+            // The pool may be refilled by work stealing, so an empty pool is
+            // only `Exhausted` from the caller's termination protocol.
+            None => Ok(OpPoll::Exhausted),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PULL-EXTEND
+// ---------------------------------------------------------------------------
+
+/// The `PULL-EXTEND` operator behind the [`BatchOperator`] interface.
+///
+/// Each queued input batch runs the two-stage fetch/intersect extension
+/// (Algorithm 4); fetch time and per-worker busy time accumulate and can be
+/// drained with [`PullExtend::take_timings`].
+pub struct PullExtend {
+    op: ExtendOp,
+    inputs: VecDeque<RowBatch>,
+    input_done: bool,
+    out_arity: usize,
+    fetch_time: Duration,
+    worker_busy: Vec<Duration>,
+}
+
+impl PullExtend {
+    /// Creates the operator.
+    pub fn new(op: ExtendOp) -> Self {
+        PullExtend {
+            op,
+            inputs: VecDeque::new(),
+            input_done: false,
+            out_arity: 0,
+            fetch_time: Duration::ZERO,
+            worker_busy: Vec::new(),
+        }
+    }
+
+    /// The translated operator this executes.
+    pub fn op(&self) -> &ExtendOp {
+        &self.op
+    }
+
+    /// Drains the accumulated (fetch time, per-worker busy time) counters.
+    pub fn take_timings(&mut self) -> (Duration, Vec<Duration>) {
+        (
+            std::mem::take(&mut self.fetch_time),
+            std::mem::take(&mut self.worker_busy),
+        )
+    }
+}
+
+impl BatchOperator for PullExtend {
+    fn name(&self) -> &'static str {
+        "PULL-EXTEND"
+    }
+
+    fn output_arity(&self) -> usize {
+        // Known once the first input batch fixes the input arity.
+        self.out_arity
+    }
+
+    fn push_input(&mut self, input: RowBatch, _ctx: &OpContext<'_>) -> Result<()> {
+        self.out_arity = if self.op.verify_position.is_some() {
+            input.arity()
+        } else {
+            input.arity() + 1
+        };
+        self.inputs.push_back(input);
+        Ok(())
+    }
+
+    fn finish_input(&mut self, _ctx: &OpContext<'_>) -> Result<()> {
+        self.input_done = true;
+        Ok(())
+    }
+
+    fn poll_next(&mut self, ctx: &OpContext<'_>) -> Result<OpPoll> {
+        let Some(input) = self.inputs.pop_front() else {
+            return Ok(if self.input_done {
+                OpPoll::Exhausted
+            } else {
+                OpPoll::Pending
+            });
+        };
+        let out = run_extend(&self.op, &input, ctx);
+        self.fetch_time += out.fetch_time;
+        if self.worker_busy.len() < out.worker_busy.len() {
+            self.worker_busy
+                .resize(out.worker_busy.len(), Duration::ZERO);
+        }
+        for (w, d) in out.worker_busy.iter().enumerate() {
+            self.worker_busy[w] += *d;
+        }
+        Ok(OpPoll::Ready(out.batch))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PUSH-JOIN
+// ---------------------------------------------------------------------------
+
+/// The `PUSH-JOIN` operator behind the [`BatchOperator`] interface.
+///
+/// A binary operator: feed each side with [`PushJoin::push_side`], then
+/// either stream the joined output with [`PushJoin::finish_into`] (the HUGE
+/// engine does this to keep memory bounded) or seal with
+/// [`BatchOperator::finish_input`] and poll the buffered result.
+pub struct PushJoin {
+    joiner: Option<HashJoiner>,
+    out_arity: usize,
+    batch_rows: usize,
+    outputs: VecDeque<RowBatch>,
+    produced: u64,
+}
+
+impl PushJoin {
+    /// Creates the join over the given producer arities.
+    pub fn new(
+        op: JoinOp,
+        left_arity: usize,
+        right_arity: usize,
+        spill_threshold_bytes: u64,
+        spill_dir: PathBuf,
+        memory: MemoryTrackerHandle,
+        batch_rows: usize,
+    ) -> Self {
+        let joiner = HashJoiner::new(
+            op,
+            left_arity,
+            right_arity,
+            spill_threshold_bytes,
+            spill_dir,
+            memory,
+        );
+        let out_arity = joiner.output_arity();
+        PushJoin {
+            joiner: Some(joiner),
+            out_arity,
+            batch_rows: batch_rows.max(1),
+            outputs: VecDeque::new(),
+            produced: 0,
+        }
+    }
+
+    /// Feeds one input batch to one side of the join.
+    pub fn push_side(&mut self, side: JoinSide, batch: &RowBatch) -> Result<()> {
+        match self.joiner.as_mut() {
+            Some(j) => j.add(side, batch),
+            None => Err(EngineError::Config(
+                "PUSH-JOIN received input after finishing".into(),
+            )),
+        }
+    }
+
+    /// Finishes the join, streaming output batches into `emit` instead of
+    /// buffering them. Returns the number of joined rows.
+    pub fn finish_into(&mut self, emit: impl FnMut(RowBatch)) -> Result<u64> {
+        let joiner = self
+            .joiner
+            .take()
+            .ok_or_else(|| EngineError::Config("PUSH-JOIN finished twice".into()))?;
+        let produced = joiner.finish(self.batch_rows, emit)?;
+        self.produced += produced;
+        Ok(produced)
+    }
+
+    /// Joined rows emitted so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+impl BatchOperator for PushJoin {
+    fn name(&self) -> &'static str {
+        "PUSH-JOIN"
+    }
+
+    fn output_arity(&self) -> usize {
+        self.out_arity
+    }
+
+    fn push_input(&mut self, _input: RowBatch, _ctx: &OpContext<'_>) -> Result<()> {
+        Err(EngineError::Config(
+            "PUSH-JOIN is a binary operator: feed it through push_side(JoinSide, ..)".into(),
+        ))
+    }
+
+    fn finish_input(&mut self, _ctx: &OpContext<'_>) -> Result<()> {
+        if self.joiner.is_some() {
+            let mut buffered = VecDeque::new();
+            let joiner = self.joiner.take().expect("checked above");
+            self.produced += joiner.finish(self.batch_rows, |b| buffered.push_back(b))?;
+            self.outputs.append(&mut buffered);
+        }
+        Ok(())
+    }
+
+    fn poll_next(&mut self, _ctx: &OpContext<'_>) -> Result<OpPoll> {
+        match self.outputs.pop_front() {
+            Some(batch) => Ok(OpPoll::Ready(batch)),
+            None if self.joiner.is_none() => Ok(OpPoll::Exhausted),
+            None => Ok(OpPoll::Pending),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing utilities
+// ---------------------------------------------------------------------------
+
+/// Hash-partitions the rows of `batch` over `k` machines by the given key
+/// columns.
+///
+/// This is the single partitioning function behind every shuffle in the
+/// workspace (the HUGE `PUSH-JOIN` feed and the baselines' distributed hash
+/// joins); the caller moves the per-destination batches through
+/// `RouterEndpoint::push`, which is where the traffic gets charged.
+pub fn partition_by_key(batch: &RowBatch, key_positions: &[usize], k: usize) -> Vec<RowBatch> {
+    let mut out: Vec<RowBatch> = (0..k).map(|_| RowBatch::new(batch.arity())).collect();
+    for row in batch.rows() {
+        let dest = (key_hash(row, key_positions) as usize) % k;
+        out[dest].push_row(row);
+    }
+    out
+}
+
+/// Partitions the rows of `batch` over `k` machines by the *owner* of the
+/// vertex in `column` (used by pushing wco extensions, which route partial
+/// results to the owners of the vertices being intersected).
+pub fn partition_by_owner(
+    batch: &RowBatch,
+    column: usize,
+    rpc: &RpcFabric,
+    k: usize,
+) -> Vec<RowBatch> {
+    let mut out: Vec<RowBatch> = (0..k).map(|_| RowBatch::new(batch.arity())).collect();
+    for row in batch.rows() {
+        let dest = rpc.owner(row[column]);
+        out[dest].push_row(row);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline driver
+// ---------------------------------------------------------------------------
+
+/// Drives a chain of operators breadth-first: stage `i` is polled to
+/// exhaustion and its batches fed to stage `i + 1`; the final stage's
+/// batches go to `sink`.
+///
+/// This is the materialise-everything execution model of the baseline
+/// systems (and of tests). The HUGE engine schedules the same operators
+/// adaptively with bounded queues instead (see [`crate::machine`]).
+pub fn run_pipeline(
+    ops: &mut [&mut dyn BatchOperator],
+    ctx: &OpContext<'_>,
+    sink: &mut dyn FnMut(RowBatch),
+) -> Result<()> {
+    let n = ops.len();
+    for i in 0..n {
+        if i > 0 {
+            ops[i].finish_input(ctx)?;
+        }
+        while let OpPoll::Ready(batch) = ops[i].poll_next(ctx)? {
+            if batch.is_empty() {
+                continue;
+            }
+            if i + 1 < n {
+                let (_, downstream) = ops.split_at_mut(i + 1);
+                downstream[0].push_input(batch, ctx)?;
+            } else {
+                sink(batch);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use huge_cache::LrbuCache;
+    use huge_comm::stats::ClusterStats;
+    use huge_graph::{gen, Partitioner};
+    use huge_plan::physical::CommMode;
+    use huge_plan::translate::OrderFilter;
+    use std::sync::Arc;
+
+    fn setup(k: usize) -> (Vec<GraphPartition>, RpcFabric) {
+        let g = gen::complete(8);
+        let parts = Partitioner::new(k).unwrap().partition(g);
+        let stats = ClusterStats::new(k);
+        let fabric = RpcFabric::new(Arc::new(parts.clone()), stats);
+        (parts, fabric)
+    }
+
+    #[test]
+    fn scan_extend_pipeline_counts_triangles_on_k8() {
+        let (parts, rpc) = setup(2);
+        let pool = WorkerPool::new(1, crate::config::LoadBalance::WorkStealing);
+        let mut total = 0u64;
+        for (m, partition) in parts.iter().enumerate() {
+            let cache = LrbuCache::new(1 << 20);
+            let ctx = OpContext {
+                machine: m,
+                partition,
+                rpc: &rpc,
+                cache: &cache,
+                use_cache: true,
+                pool: &pool,
+                batch_size: 64,
+            };
+            let mut scan = ScanSource::new(
+                ScanOp {
+                    src: 0,
+                    dst: 1,
+                    filters: vec![OrderFilter {
+                        smaller: 0,
+                        larger: 1,
+                    }],
+                },
+                ScanPool::new(partition.local_vertices(), 4),
+            );
+            let mut extend = PullExtend::new(ExtendOp {
+                target: 2,
+                ext_positions: vec![0, 1],
+                verify_position: None,
+                filters: vec![OrderFilter {
+                    smaller: 1,
+                    larger: 2,
+                }],
+                comm: CommMode::Pulling,
+            });
+            let mut ops: [&mut dyn BatchOperator; 2] = [&mut scan, &mut extend];
+            run_pipeline(&mut ops, &ctx, &mut |b| total += b.len() as u64).unwrap();
+        }
+        // K8 has C(8,3) = 56 triangles.
+        assert_eq!(total, 56);
+    }
+
+    #[test]
+    fn push_join_trait_path_buffers_outputs() {
+        let (parts, rpc) = setup(1);
+        let cache = LrbuCache::new(1 << 20);
+        let pool = WorkerPool::new(1, crate::config::LoadBalance::WorkStealing);
+        let ctx = OpContext {
+            machine: 0,
+            partition: &parts[0],
+            rpc: &rpc,
+            cache: &cache,
+            use_cache: true,
+            pool: &pool,
+            batch_size: 16,
+        };
+        let op = JoinOp {
+            left: 0,
+            right: 1,
+            key_left: vec![0],
+            key_right: vec![0],
+            right_payload: vec![1],
+            filters: vec![],
+        };
+        let dir = std::env::temp_dir().join(format!("huge-exec-test-{}", std::process::id()));
+        let mut join = PushJoin::new(op, 2, 2, 1 << 20, dir, MemoryTrackerHandle::Untracked, 16);
+        let mut left = RowBatch::new(2);
+        left.push_row(&[1, 10]);
+        left.push_row(&[2, 20]);
+        let mut right = RowBatch::new(2);
+        right.push_row(&[1, 100]);
+        join.push_side(JoinSide::Left, &left).unwrap();
+        join.push_side(JoinSide::Right, &right).unwrap();
+        join.finish_input(&ctx).unwrap();
+        let mut rows = Vec::new();
+        while let OpPoll::Ready(b) = join.poll_next(&ctx).unwrap() {
+            rows.extend(b.rows().map(|r| r.to_vec()));
+        }
+        assert_eq!(rows, vec![vec![1, 10, 100]]);
+        assert_eq!(join.produced(), 1);
+        assert!(matches!(join.poll_next(&ctx).unwrap(), OpPoll::Exhausted));
+    }
+
+    #[test]
+    fn partition_by_key_is_total_and_deterministic() {
+        let batch = RowBatch::from_flat(2, (0..40).collect());
+        let parts = partition_by_key(&batch, &[0], 4);
+        let total: usize = parts.iter().map(|b| b.len()).sum();
+        assert_eq!(total, batch.len());
+        let again = partition_by_key(&batch, &[0], 4);
+        for (a, b) in parts.iter().zip(&again) {
+            assert_eq!(a.as_flat(), b.as_flat());
+        }
+    }
+
+    #[test]
+    fn partition_by_owner_routes_to_owners() {
+        let (parts, rpc) = setup(3);
+        let mut batch = RowBatch::new(1);
+        for v in 0..8u32 {
+            batch.push_row(&[v]);
+        }
+        let routed = partition_by_owner(&batch, 0, &rpc, 3);
+        for (m, b) in routed.iter().enumerate() {
+            for row in b.rows() {
+                assert_eq!(rpc.owner(row[0]), m);
+            }
+        }
+        let _ = parts;
+    }
+}

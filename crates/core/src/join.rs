@@ -156,7 +156,7 @@ impl HashJoiner {
             let p = (key_hash(row, &buffer.key_positions) as usize) % NUM_PARTITIONS;
             let part = &mut buffer.partitions[p];
             part.rows_in_memory.extend_from_slice(row);
-            let bytes = (row.len() * std::mem::size_of::<VertexId>()) as u64;
+            let bytes = std::mem::size_of_val(row) as u64;
             part.memory_bytes += bytes;
             buffer.buffered_bytes += bytes;
             self.memory.allocate(bytes);
@@ -176,10 +176,8 @@ impl HashJoiner {
             }
             let path = part.spill_file.clone().unwrap_or_else(|| {
                 self.spill_counter += 1;
-                let path = spill_dir.join(format!(
-                    "join-{tag}-{victim}-{}.spill",
-                    self.spill_counter
-                ));
+                let path =
+                    spill_dir.join(format!("join-{tag}-{victim}-{}.spill", self.spill_counter));
                 part.spill_file = Some(path.clone());
                 path
             });
@@ -232,8 +230,7 @@ impl HashJoiner {
             let mut table: std::collections::HashMap<Vec<VertexId>, Vec<usize>> =
                 std::collections::HashMap::new();
             for (idx, row) in right_rows.chunks_exact(self.right.arity).enumerate() {
-                let key: Vec<VertexId> =
-                    self.op.key_right.iter().map(|&pos| row[pos]).collect();
+                let key: Vec<VertexId> = self.op.key_right.iter().map(|&pos| row[pos]).collect();
                 table.entry(key).or_default().push(idx);
             }
             let mut out = RowBatch::with_capacity(out_arity, batch_rows.min(64 * 1024));
@@ -243,8 +240,7 @@ impl HashJoiner {
                     continue;
                 };
                 for &ridx in matches {
-                    let rrow =
-                        &right_rows[ridx * self.right.arity..(ridx + 1) * self.right.arity];
+                    let rrow = &right_rows[ridx * self.right.arity..(ridx + 1) * self.right.arity];
                     // Cross-side injectivity: appended payload vertices must
                     // not collide with any left-bound vertex.
                     let payload_ok = self
@@ -292,7 +288,8 @@ impl HashJoiner {
                 let _ = std::fs::remove_file(path);
             }
         }
-        self.memory.release(self.left.buffered_bytes + self.right.buffered_bytes);
+        self.memory
+            .release(self.left.buffered_bytes + self.right.buffered_bytes);
         self.left.buffered_bytes = 0;
         self.right.buffered_bytes = 0;
     }
@@ -384,7 +381,10 @@ mod tests {
             .add(JoinSide::Left, &batch2(&[[1, 10], [2, 20], [3, 30]]))
             .unwrap();
         joiner
-            .add(JoinSide::Right, &batch2(&[[1, 100], [1, 101], [3, 300], [4, 400]]))
+            .add(
+                JoinSide::Right,
+                &batch2(&[[1, 100], [1, 101], [3, 300], [4, 400]]),
+            )
             .unwrap();
         let mut rows: Vec<Vec<u32>> = Vec::new();
         let produced = joiner
@@ -392,7 +392,10 @@ mod tests {
             .unwrap();
         assert_eq!(produced, 3);
         rows.sort();
-        assert_eq!(rows, vec![vec![1, 10, 100], vec![1, 10, 101], vec![3, 30, 300]]);
+        assert_eq!(
+            rows,
+            vec![vec![1, 10, 100], vec![1, 10, 101], vec![3, 30, 300]]
+        );
     }
 
     #[test]
@@ -419,7 +422,10 @@ mod tests {
     fn order_filters_apply_to_joined_rows() {
         let mut op = simple_op();
         // Require output[1] < output[2], i.e. b < c.
-        op.filters = vec![OrderFilter { smaller: 1, larger: 2 }];
+        op.filters = vec![OrderFilter {
+            smaller: 1,
+            larger: 2,
+        }];
         let mut joiner = HashJoiner::new(
             op,
             2,

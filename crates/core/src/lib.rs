@@ -37,6 +37,7 @@
 
 pub mod cluster;
 pub mod config;
+pub mod exec;
 pub mod join;
 pub mod machine;
 pub mod memory;
@@ -47,6 +48,7 @@ pub mod scheduler;
 
 pub use cluster::HugeCluster;
 pub use config::{ClusterConfig, LoadBalance, SinkMode};
+pub use exec::{BatchOperator, OpContext, OpPoll};
 pub use report::{MachineReport, RunReport};
 
 /// Errors surfaced by the engine.

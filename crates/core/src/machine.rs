@@ -15,9 +15,12 @@ use huge_query::QueryVertex;
 use std::sync::Arc;
 
 use crate::config::{ClusterConfig, SinkMode};
-use crate::join::{HashJoiner, JoinSide, MemoryTrackerHandle};
+use crate::exec::{
+    partition_by_key, BatchOperator, OpContext, OpPoll, PullExtend, PushJoin, ScanSource,
+};
+use crate::join::{JoinSide, MemoryTrackerHandle};
 use crate::memory::MemoryTracker;
-use crate::operators::{run_extend, OpContext, ScanCursor, ScanPool};
+use crate::operators::ScanPool;
 use crate::pool::WorkerPool;
 use crate::report::MachineReport;
 use crate::scheduler::SegmentQueues;
@@ -158,6 +161,10 @@ impl MachineState {
     }
 
     /// Runs one segment to completion (own work, then stolen work).
+    ///
+    /// The segment's operators are instantiated once as
+    /// [`BatchOperator`]s from the shared execution substrate and driven by
+    /// the BFS/DFS-adaptive scheduler below.
     pub fn run_segment(
         &mut self,
         plan: &SegmentPlan,
@@ -165,15 +172,19 @@ impl MachineState {
         sink: SinkMode,
     ) -> Result<()> {
         let start = Instant::now();
+        let mut extends: Vec<PullExtend> = plan
+            .segment
+            .extends
+            .iter()
+            .map(|op| PullExtend::new(op.clone()))
+            .collect();
         match &plan.segment.source {
             SegmentSource::Scan(scan) => {
-                let mut cursor = ScanCursor::new(
-                    scan.clone(),
-                    shared.scan_pools[self.machine].clone(),
-                );
-                self.run_chain(Some(&mut cursor), plan, shared, sink)?;
+                let mut source =
+                    ScanSource::new(scan.clone(), shared.scan_pools[self.machine].clone());
+                self.run_chain(Some(&mut source), &mut extends, plan, shared, sink)?;
                 if self.config.inter_machine_stealing {
-                    self.steal_loop(Some(&mut cursor), plan, shared, sink)?;
+                    self.steal_loop(Some(&mut source), &mut extends, plan, shared, sink)?;
                 }
             }
             SegmentSource::Join(join_op) => {
@@ -181,21 +192,22 @@ impl MachineState {
                 let (left_arity, right_arity) = plan
                     .producer_arities
                     .expect("join segments carry their producers' arities");
-                let mut joiner = HashJoiner::new(
+                let mut join = PushJoin::new(
                     join_op.clone(),
                     left_arity,
                     right_arity,
                     self.config.join_buffer_bytes,
                     self.spill_dir.clone(),
                     MemoryTrackerHandle::Tracked(Arc::clone(&self.memory)),
+                    self.config.batch_size,
                 );
                 let mut stashed = std::mem::take(&mut self.pending_envelopes);
                 stashed.extend(self.router.drain());
                 for env in stashed {
                     if env.segment == join_op.left {
-                        joiner.add(JoinSide::Left, &env.batch)?;
+                        join.push_side(JoinSide::Left, &env.batch)?;
                     } else if env.segment == join_op.right {
-                        joiner.add(JoinSide::Right, &env.batch)?;
+                        join.push_side(JoinSide::Right, &env.batch)?;
                     } else {
                         self.pending_envelopes.push(env);
                     }
@@ -204,14 +216,14 @@ impl MachineState {
                 // draining downstream operators whenever the source queue
                 // fills so memory stays bounded.
                 let queues = Arc::clone(&shared.queues[self.machine]);
-                let batch_size = self.config.batch_size;
                 let mut drain_error: Option<crate::EngineError> = None;
                 {
                     let this = &mut *self;
-                    joiner.finish(batch_size, |batch| {
+                    let extends = &mut extends;
+                    join.finish_into(|batch| {
                         queues.queue(0).push(batch);
                         if queues.queue(0).is_full() && drain_error.is_none() {
-                            if let Err(e) = this.run_chain(None, plan, shared, sink) {
+                            if let Err(e) = this.run_chain(None, extends, plan, shared, sink) {
                                 drain_error = Some(e);
                             }
                         }
@@ -220,7 +232,16 @@ impl MachineState {
                 if let Some(e) = drain_error {
                     return Err(e);
                 }
-                self.run_chain(None, plan, shared, sink)?;
+                self.run_chain(None, &mut extends, plan, shared, sink)?;
+            }
+        }
+        for ext in &mut extends {
+            let (fetch, busy) = ext.take_timings();
+            self.fetch_time += fetch;
+            for (w, d) in busy.iter().enumerate() {
+                if w < self.worker_busy.len() {
+                    self.worker_busy[w] += *d;
+                }
             }
         }
         self.compute_time += start.elapsed();
@@ -228,23 +249,24 @@ impl MachineState {
     }
 
     /// The BFS/DFS-adaptive scheduling loop (Algorithm 5) over this
-    /// segment's operator chain: source (optional cursor), extends, terminal.
+    /// segment's operator chain: source (optional scan), extends, terminal.
     fn run_chain(
         &mut self,
-        mut cursor: Option<&mut ScanCursor>,
+        mut source: Option<&mut ScanSource>,
+        extends: &mut [PullExtend],
         plan: &SegmentPlan,
         shared: &SharedSegmentState,
         sink: SinkMode,
     ) -> Result<()> {
         let queues = Arc::clone(&shared.queues[self.machine]);
-        let num_extends = plan.segment.extends.len();
+        let num_extends = extends.len();
         // Operator indices: 0 = source, 1..=num_extends = extends,
         // num_extends + 1 = terminal.
         let terminal_idx = num_extends + 1;
         let mut current = 0usize;
         loop {
             let has_input = match current {
-                0 => cursor.as_ref().map(|c| c.has_more()).unwrap_or(false),
+                0 => source.as_ref().map(|c| c.has_more()).unwrap_or(false),
                 i if i == terminal_idx => !queues.queue(num_extends).is_empty(),
                 i => !queues.queue(i - 1).is_empty(),
             };
@@ -260,7 +282,7 @@ impl MachineState {
                 // Backtrack only while some upstream operator still has work;
                 // otherwise keep moving towards the terminal (and stop at the
                 // terminal once the whole chain has drained).
-                let upstream_has_work = cursor.as_ref().map(|c| c.has_more()).unwrap_or(false)
+                let upstream_has_work = source.as_ref().map(|c| c.has_more()).unwrap_or(false)
                     || (0..current.saturating_sub(1)).any(|i| !queues.queue(i).is_empty());
                 if upstream_has_work {
                     current -= 1;
@@ -281,33 +303,32 @@ impl MachineState {
             // Schedule the operator: consume input until its output queue
             // fills or the input drains (Algorithm 5 lines 6-9).
             loop {
-                let input: Option<RowBatch> = if current == 0 {
+                let produced: Option<RowBatch> = if current == 0 {
                     let ctx = self.op_context();
-                    cursor.as_mut().and_then(|c| c.next_batch(&ctx))
-                } else {
-                    queues.queue(current - 1).pop()
-                };
-                let Some(input) = input else { break };
-                if current == 0 {
-                    // The scan already produced an output batch.
-                    for chunk in input.split_into_chunks(self.config.batch_size) {
-                        queues.queue(0).push(chunk);
+                    match source.as_mut() {
+                        Some(s) => match s.poll_next(&ctx)? {
+                            OpPoll::Ready(batch) => Some(batch),
+                            OpPoll::Pending | OpPoll::Exhausted => None,
+                        },
+                        None => None,
                     }
                 } else {
-                    let op = &plan.segment.extends[current - 1];
-                    let out = {
-                        let ctx = self.op_context();
-                        run_extend(op, &input, &ctx)
-                    };
-                    self.fetch_time += out.fetch_time;
-                    for (w, d) in out.worker_busy.iter().enumerate() {
-                        if w < self.worker_busy.len() {
-                            self.worker_busy[w] += *d;
+                    match queues.queue(current - 1).pop() {
+                        Some(input) => {
+                            let ctx = self.op_context();
+                            let op = &mut extends[current - 1];
+                            op.push_input(input, &ctx)?;
+                            match op.poll_next(&ctx)? {
+                                OpPoll::Ready(batch) => Some(batch),
+                                OpPoll::Pending | OpPoll::Exhausted => None,
+                            }
                         }
+                        None => None,
                     }
-                    for chunk in out.batch.split_into_chunks(self.config.batch_size) {
-                        queues.queue(current).push(chunk);
-                    }
+                };
+                let Some(produced) = produced else { break };
+                for chunk in produced.split_into_chunks(self.config.batch_size) {
+                    queues.queue(current).push(chunk);
                 }
                 if queues.queue(current).is_full() {
                     break;
@@ -339,15 +360,12 @@ impl MachineState {
                 key_positions,
             } => {
                 let k = self.router.num_machines();
-                let mut outgoing: Vec<RowBatch> =
-                    (0..k).map(|_| RowBatch::new(batch.arity())).collect();
-                for row in batch.rows() {
-                    let dest = (crate::join::key_hash(row, key_positions) as usize) % k;
-                    outgoing[dest].push_row(row);
-                }
                 // Envelopes are tagged with the *producing* segment id so the
                 // consuming join can tell its left input from its right.
-                for (dest, out) in outgoing.into_iter().enumerate() {
+                for (dest, out) in partition_by_key(batch, key_positions, k)
+                    .into_iter()
+                    .enumerate()
+                {
                     self.router.push(dest, plan.segment.id, out);
                 }
             }
@@ -359,7 +377,8 @@ impl MachineState {
     /// is idle (§5.3).
     fn steal_loop(
         &mut self,
-        mut cursor: Option<&mut ScanCursor>,
+        mut source: Option<&mut ScanSource>,
+        extends: &mut [PullExtend],
         plan: &SegmentPlan,
         shared: &SharedSegmentState,
         sink: SinkMode,
@@ -408,7 +427,7 @@ impl MachineState {
             }
             if stolen_any {
                 shared.idle[self.machine].store(false, Ordering::SeqCst);
-                self.run_chain(cursor.as_deref_mut(), plan, shared, sink)?;
+                self.run_chain(source.as_deref_mut(), extends, plan, shared, sink)?;
                 continue;
             }
             // Nothing to steal: finish once every machine is idle.

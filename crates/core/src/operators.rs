@@ -7,31 +7,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use huge_cache::PullCache;
-use huge_comm::{MachineId, RowBatch, RpcFabric};
-use huge_graph::{GraphPartition, VertexId};
+use huge_comm::RowBatch;
+use huge_graph::VertexId;
 use huge_plan::translate::{ExtendOp, OrderFilter, ScanOp};
 use parking_lot::Mutex;
 
-use crate::pool::WorkerPool;
-
-/// Everything an operator needs from its machine.
-pub struct OpContext<'a> {
-    /// The machine executing the operator.
-    pub machine: MachineId,
-    /// The machine's graph partition.
-    pub partition: &'a GraphPartition,
-    /// The pulling fabric (accounted `GetNbrs`).
-    pub rpc: &'a RpcFabric,
-    /// The machine's adjacency cache.
-    pub cache: &'a dyn PullCache,
-    /// `false` disables the cache (every remote list is fetched per batch).
-    pub use_cache: bool,
-    /// The machine's worker pool.
-    pub pool: &'a WorkerPool,
-    /// Rows per output batch.
-    pub batch_size: usize,
-}
+pub use crate::exec::OpContext;
 
 /// Applies the symmetry-breaking filters of an operator to a row.
 #[inline]
@@ -260,13 +241,15 @@ pub fn run_extend(op: &ExtendOp, input: &RowBatch, ctx: &OpContext<'_>) -> Exten
         .collect();
 
     let batch_table = &batch_table;
-    let run = ctx.pool.run(ranges, |(start, end), out: &mut Vec<VertexId>| {
-        let mut scratch: Vec<VertexId> = Vec::new();
-        for i in start..end {
-            let row = input.row(i);
-            extend_one_row(op, row, ctx, batch_table, &mut scratch, out);
-        }
-    });
+    let run = ctx
+        .pool
+        .run(ranges, |(start, end), out: &mut Vec<VertexId>| {
+            let mut scratch: Vec<VertexId> = Vec::new();
+            for i in start..end {
+                let row = input.row(i);
+                extend_one_row(op, row, ctx, batch_table, &mut scratch, out);
+            }
+        });
 
     let mut batch = RowBatch::new(out_arity);
     let worker_busy = run.busy.clone();
@@ -302,8 +285,10 @@ fn extend_one_row(
         let target = row[vpos];
         let ok = op.ext_positions.iter().all(|&pos| {
             let v = row[pos];
-            with_neighbours(ctx, batch_table, v, |nbrs| nbrs.binary_search(&target).is_ok())
-                .unwrap_or(false)
+            with_neighbours(ctx, batch_table, v, |nbrs| {
+                nbrs.binary_search(&target).is_ok()
+            })
+            .unwrap_or(false)
         });
         if ok && passes_filters(row, &op.filters) {
             out.extend_from_slice(row);
@@ -406,8 +391,11 @@ fn intersect_in_place(acc: &mut Vec<VertexId>, other: &[VertexId]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::WorkerPool;
+    use huge_cache::PullCache;
     use huge_comm::stats::ClusterStats;
-    use huge_graph::{gen, Partitioner};
+    use huge_comm::RpcFabric;
+    use huge_graph::{gen, GraphPartition, Partitioner};
     use huge_plan::physical::CommMode;
 
     fn setup(k: usize) -> (Vec<GraphPartition>, RpcFabric) {
@@ -467,7 +455,10 @@ mod tests {
         let scan = ScanOp {
             src: 0,
             dst: 1,
-            filters: vec![OrderFilter { smaller: 0, larger: 1 }],
+            filters: vec![OrderFilter {
+                smaller: 0,
+                larger: 1,
+            }],
         };
         let mut cursor = ScanCursor::new(scan, ScanPool::new(parts[0].local_vertices(), 4));
         let mut total = 0;
@@ -491,13 +482,19 @@ mod tests {
             let scan = ScanOp {
                 src: 0,
                 dst: 1,
-                filters: vec![OrderFilter { smaller: 0, larger: 1 }],
+                filters: vec![OrderFilter {
+                    smaller: 0,
+                    larger: 1,
+                }],
             };
             let ext = ExtendOp {
                 target: 2,
                 ext_positions: vec![0, 1],
                 verify_position: None,
-                filters: vec![OrderFilter { smaller: 1, larger: 2 }],
+                filters: vec![OrderFilter {
+                    smaller: 1,
+                    larger: 2,
+                }],
                 comm: CommMode::Pulling,
             };
             let mut cursor = ScanCursor::new(scan, ScanPool::new(parts[m].local_vertices(), 2));

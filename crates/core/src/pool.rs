@@ -180,7 +180,7 @@ mod tests {
         // cheap items migrate to the idle workers.
         let pool = WorkerPool::new(4, LoadBalance::WorkStealing);
         let mut items: Vec<u64> = vec![2_000_000];
-        items.extend(std::iter::repeat(20_000).take(63));
+        items.extend(std::iter::repeat_n(20_000, 63));
         let run = pool.run(items, |iters, out: &mut Vec<u64>| {
             let mut acc = 0u64;
             for i in 0..iters {

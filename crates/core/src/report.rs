@@ -4,10 +4,9 @@ use std::time::Duration;
 
 use huge_cache::CacheStats;
 use huge_comm::stats::CommSnapshot;
-use serde::{Deserialize, Serialize};
 
 /// Per-machine measurements.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct MachineReport {
     /// Machine id.
     pub machine: usize,
@@ -27,7 +26,7 @@ pub struct MachineReport {
 }
 
 /// The result of running one query on the cluster.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunReport {
     /// Name of the query (if any).
     pub query: String,
@@ -115,13 +114,15 @@ impl RunReport {
 
 /// Merges cache statistics from several machines.
 pub(crate) fn merge_cache_stats(stats: impl IntoIterator<Item = CacheStats>) -> CacheStats {
-    stats.into_iter().fold(CacheStats::default(), |a, b| CacheStats {
-        hits: a.hits + b.hits,
-        misses: a.misses + b.misses,
-        inserts: a.inserts + b.inserts,
-        evictions: a.evictions + b.evictions,
-        overflow_inserts: a.overflow_inserts + b.overflow_inserts,
-    })
+    stats
+        .into_iter()
+        .fold(CacheStats::default(), |a, b| CacheStats {
+            hits: a.hits + b.hits,
+            misses: a.misses + b.misses,
+            inserts: a.inserts + b.inserts,
+            evictions: a.evictions + b.evictions,
+            overflow_inserts: a.overflow_inserts + b.overflow_inserts,
+        })
 }
 
 #[cfg(test)]

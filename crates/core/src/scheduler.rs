@@ -120,11 +120,7 @@ pub struct SegmentQueues {
 
 impl SegmentQueues {
     /// Creates `num_ops` queues with the given row capacity.
-    pub fn new(
-        num_ops: usize,
-        capacity_rows: usize,
-        memory: Option<Arc<MemoryTracker>>,
-    ) -> Self {
+    pub fn new(num_ops: usize, capacity_rows: usize, memory: Option<Arc<MemoryTracker>>) -> Self {
         SegmentQueues {
             queues: (0..num_ops)
                 .map(|_| Arc::new(SharedQueue::new(capacity_rows, memory.clone())))

@@ -106,7 +106,10 @@ mod tests {
     #[test]
     fn builder_dedups_and_sorts() {
         let mut b = GraphBuilder::new();
-        b.add_edge(3, 1).add_edge(1, 3).add_edge(0, 3).add_edge(2, 3);
+        b.add_edge(3, 1)
+            .add_edge(1, 3)
+            .add_edge(0, 3)
+            .add_edge(2, 3);
         let g = b.build();
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 3);

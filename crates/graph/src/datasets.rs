@@ -6,13 +6,11 @@
 //! benchmark harness can be grown towards the paper's sizes when more time
 //! and memory are available.
 
-use serde::{Deserialize, Serialize};
-
 use crate::gen::{self, RmatParams};
 use crate::graph::Graph;
 
 /// The seven data graphs of the paper (Table 3), reproduced synthetically.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
     /// Google web graph (`GO`): medium power-law web graph.
     Go,
@@ -72,7 +70,7 @@ impl DatasetKind {
 }
 
 /// A dataset descriptor: which graph to generate and how large.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Dataset {
     /// Which of the paper's graphs this stands in for.
     pub kind: DatasetKind,
@@ -118,7 +116,7 @@ impl Dataset {
             // Skewed web graph (default dataset of the paper's experiments).
             DatasetKind::Uk => {
                 let nodes = n(80_000);
-                let scale = (usize::BITS - nodes.leading_zeros()) as u32;
+                let scale = usize::BITS - nodes.leading_zeros();
                 gen::rmat(scale, nodes * 8, RmatParams::default(), self.seed ^ 0x4B)
             }
             // Road network: grid with a few shortcuts.
@@ -131,7 +129,7 @@ impl Dataset {
             // Web-scale stand-in: the largest, heavily skewed.
             DatasetKind::Cw => {
                 let nodes = n(200_000);
-                let scale = (usize::BITS - nodes.leading_zeros()) as u32;
+                let scale = usize::BITS - nodes.leading_zeros();
                 gen::rmat(
                     scale,
                     nodes * 10,

@@ -66,6 +66,10 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
             let idx = rng.gen_range(0..targets.len());
             chosen.insert(targets[idx]);
         }
+        // The hash set's iteration order is randomised per process; sort so
+        // that a fixed seed reproduces the same graph across runs.
+        let mut chosen: Vec<VertexId> = chosen.into_iter().collect();
+        chosen.sort_unstable();
         for &u in &chosen {
             builder.add_edge(u, v);
             targets.push(u);

@@ -128,7 +128,7 @@ impl Graph {
 
     /// Iterates over all vertex ids.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.num_vertices() as VertexId).into_iter()
+        0..self.num_vertices() as VertexId
     }
 
     /// Iterates over all undirected edges, each reported once with `u < v`

@@ -105,7 +105,11 @@ impl GraphPartition {
     /// accounted.
     #[inline]
     pub fn local_neighbours(&self, v: VertexId) -> &[VertexId] {
-        debug_assert!(self.is_local(v), "vertex {v} is not local to machine {}", self.machine);
+        debug_assert!(
+            self.is_local(v),
+            "vertex {v} is not local to machine {}",
+            self.machine
+        );
         self.graph.neighbours(v)
     }
 

@@ -1,12 +1,10 @@
 //! Degree statistics used by the optimiser's cost model and the benchmark
 //! reports (mirroring Table 3 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 use crate::graph::Graph;
 
 /// Summary statistics of a data graph.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GraphStats {
     /// Number of vertices `|V|`.
     pub num_vertices: usize,

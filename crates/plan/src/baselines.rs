@@ -47,9 +47,7 @@ pub fn native_plan(system: BaselineSystem, q: &QueryGraph) -> Result<ExecutionPl
     let tree = match system {
         BaselineSystem::BigJoin => wco_left_deep_tree(q, PhysicalSetting::WCO_PUSHING)?,
         BaselineSystem::Benu => wco_left_deep_tree(q, PhysicalSetting::WCO_PULLING)?,
-        BaselineSystem::StarJoin => {
-            star_left_deep_tree(q, PhysicalSetting::HASH_PUSHING)?
-        }
+        BaselineSystem::StarJoin => star_left_deep_tree(q, PhysicalSetting::HASH_PUSHING)?,
         BaselineSystem::Seed => star_bushy_tree(q, PhysicalSetting::HASH_PUSHING)?,
         BaselineSystem::Rads => rads_tree(q)?,
     };
@@ -101,10 +99,7 @@ pub fn huge_wco_plan(q: &QueryGraph) -> Result<ExecutionPlan, PlanError> {
 /// BiGJoin / BENU: match one vertex at a time along a connected order; the
 /// i-th step is a complete star join of the induced prefix with the star
 /// `(v_i; backward neighbours)` (Example 3.1).
-fn wco_left_deep_tree(
-    q: &QueryGraph,
-    physical: PhysicalSetting,
-) -> Result<JoinTree, PlanError> {
+fn wco_left_deep_tree(q: &QueryGraph, physical: PhysicalSetting) -> Result<JoinTree, PlanError> {
     let order = q.connected_order();
     if order.len() < 2 {
         return Err(PlanError::NoPlanFound);
@@ -187,10 +182,7 @@ fn order_stars_connected(q: &QueryGraph, mut stars: Vec<SubQuery>) -> Vec<SubQue
 }
 
 /// StarJoin: left-deep hash joins over the greedy star decomposition.
-fn star_left_deep_tree(
-    q: &QueryGraph,
-    physical: PhysicalSetting,
-) -> Result<JoinTree, PlanError> {
+fn star_left_deep_tree(q: &QueryGraph, physical: PhysicalSetting) -> Result<JoinTree, PlanError> {
     let stars = order_stars_connected(q, star_decomposition(q));
     let mut node = JoinNode::Unit(stars[0]);
     for star in &stars[1..] {
@@ -207,6 +199,7 @@ fn star_bushy_tree(q: &QueryGraph, physical: PhysicalSetting) -> Result<JoinTree
     Ok(JoinTree::new(build_bushy(q, &stars, physical)))
 }
 
+#[allow(clippy::only_used_in_recursion)]
 fn build_bushy(q: &QueryGraph, stars: &[SubQuery], physical: PhysicalSetting) -> JoinNode {
     if stars.len() == 1 {
         return JoinNode::Unit(stars[0]);
@@ -299,11 +292,8 @@ fn rads_tree(q: &QueryGraph) -> Result<JoinTree, PlanError> {
                 covered[i] = true;
                 let (a, b) = q.edges()[i];
                 let star = SubQuery::star(q, a, &[b]);
-                node = JoinNode::join_with(
-                    node,
-                    JoinNode::Unit(star),
-                    PhysicalSetting::HASH_PULLING,
-                );
+                node =
+                    JoinNode::join_with(node, JoinNode::Unit(star), PhysicalSetting::HASH_PULLING);
                 matched = matched.union(&star);
             }
         }

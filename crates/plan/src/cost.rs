@@ -47,9 +47,9 @@ impl HybridEstimator {
         for v in graph.vertices() {
             let d = graph.degree(v) as f64;
             let mut ff = 1.0;
-            for k in 1..9 {
+            for (k, moment) in moments.iter_mut().enumerate().skip(1) {
                 ff *= (d - (k as f64 - 1.0)).max(0.0);
-                moments[k] += ff;
+                *moment += ff;
             }
         }
         HybridEstimator {
@@ -66,8 +66,8 @@ impl HybridEstimator {
         let n = stats.num_vertices as f64;
         let mut moments = [0.0f64; 9];
         moments[0] = n;
-        for k in 1..9 {
-            moments[k] = n * stats.avg_degree.powi(k as i32);
+        for (k, moment) in moments.iter_mut().enumerate().skip(1) {
+            *moment = n * stats.avg_degree.powi(k as i32);
         }
         HybridEstimator {
             num_vertices: n,
@@ -101,9 +101,8 @@ impl HybridEstimator {
         if verts.is_empty() {
             return 0.0;
         }
-        let deg_in_sub = |v: u8| -> usize {
-            sub.edges_of(q).filter(|&(a, b)| a == v || b == v).count()
-        };
+        let deg_in_sub =
+            |v: u8| -> usize { sub.edges_of(q).filter(|&(a, b)| a == v || b == v).count() };
         let start = *verts
             .iter()
             .max_by_key(|&&v| deg_in_sub(v))
@@ -396,7 +395,10 @@ mod tests {
         let q = Pattern::Triangle.query_graph();
         let guess = est.estimate(&q, &SubQuery::full(&q));
         let exact = (g.count_triangles() * 6) as f64; // labelled embeddings
-        assert!(guess > exact / 20.0 && guess < exact * 20.0, "guess {guess} exact {exact}");
+        assert!(
+            guess > exact / 20.0 && guess < exact * 20.0,
+            "guess {guess} exact {exact}"
+        );
     }
 
     #[test]

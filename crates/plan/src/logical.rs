@@ -8,13 +8,12 @@
 //! mode).
 
 use huge_query::QueryGraph;
-use serde::{Deserialize, Serialize};
 
 use crate::physical::{configure, PhysicalSetting};
 use crate::subquery::SubQuery;
 
 /// A node of a [`JoinTree`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum JoinNode {
     /// A join unit (a star under HUGE's default setting), computed by a
     /// `SCAN` (possibly rewritten into scan + extends, §5.2).
@@ -182,7 +181,7 @@ fn rank(p: PhysicalSetting) -> u8 {
 }
 
 /// A complete logical plan: a join tree covering every edge of the query.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JoinTree {
     /// The root join node (its output must equal the full query).
     pub root: JoinNode,
@@ -241,7 +240,7 @@ impl JoinTree {
 
 /// A full execution plan: the query, the join tree with physical settings,
 /// and the optimiser's cost estimate.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExecutionPlan {
     /// The query graph being planned.
     pub query: QueryGraph,
@@ -279,6 +278,7 @@ impl ExecutionPlan {
     }
 }
 
+#[allow(clippy::only_used_in_recursion)]
 fn explain_node(node: &JoinNode, q: &QueryGraph, depth: usize, out: &mut String) {
     let indent = "  ".repeat(depth);
     match node {

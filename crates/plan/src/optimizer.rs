@@ -21,7 +21,7 @@ use crate::physical::configure;
 use crate::subquery::SubQuery;
 
 /// Options controlling the optimiser's search space.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct OptimizerOptions {
     /// Ignore the communication term of the cost model (reproduces the
     /// computation-only hybrid optimisers of EmptyHeaded / GraphFlow used as
@@ -32,16 +32,6 @@ pub struct OptimizerOptions {
     pub disable_pulling: bool,
     /// Restrict the search to left-deep trees (StarJoin-style plans).
     pub left_deep_only: bool,
-}
-
-impl Default for OptimizerOptions {
-    fn default() -> Self {
-        OptimizerOptions {
-            computation_only: false,
-            disable_pulling: false,
-            left_deep_only: false,
-        }
-    }
 }
 
 /// The plan optimiser.
@@ -151,10 +141,8 @@ impl<'a> Optimizer<'a> {
                     if self.options.left_deep_only && !bq.is_join_unit(q) {
                         continue;
                     }
-                    let right_star_leaves = bq
-                        .as_star(q)
-                        .map(|(_, leaves)| leaves.len())
-                        .unwrap_or(0);
+                    let right_star_leaves =
+                        bq.as_star(q).map(|(_, leaves)| leaves.len()).unwrap_or(0);
                     // A unit star consumed by a pulling join is never
                     // materialised (PULL-EXTEND enumerates it implicitly), so
                     // its own production cost is skipped.
@@ -172,7 +160,7 @@ impl<'a> Optimizer<'a> {
                         physical,
                         right_star_leaves,
                     );
-                    if best.as_ref().map_or(true, |b| cost < b.cost) {
+                    if best.as_ref().is_none_or(|b| cost < b.cost) {
                         best = Some(Entry {
                             cost,
                             card,
@@ -284,9 +272,12 @@ mod tests {
         let g = gen::erdos_renyi(500, 2000, 1);
         let est = HybridEstimator::from_graph(&g);
         let q = Pattern::Star(3).query_graph();
-        let plan = Optimizer::new(&est, CostModel::new(4, g.num_edges()).with_avg_degree(g.avg_degree()))
-            .optimize(&q)
-            .unwrap();
+        let plan = Optimizer::new(
+            &est,
+            CostModel::new(4, g.num_edges()).with_avg_degree(g.avg_degree()),
+        )
+        .optimize(&q)
+        .unwrap();
         assert_eq!(plan.tree.num_joins(), 0);
         assert_eq!(plan.tree.num_units(), 1);
     }

@@ -10,12 +10,11 @@
 //! * `(hash join, pushing)` otherwise.
 
 use huge_query::QueryGraph;
-use serde::{Deserialize, Serialize};
 
 use crate::subquery::SubQuery;
 
 /// The join algorithm used to process a two-way join.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum JoinAlgorithm {
     /// Conventional distributed hash join over the join key.
     Hash,
@@ -25,7 +24,7 @@ pub enum JoinAlgorithm {
 }
 
 /// The communication mode used to process a two-way join.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CommMode {
     /// Ship intermediate results to the machine indexed by the join key.
     Pushing,
@@ -35,7 +34,7 @@ pub enum CommMode {
 }
 
 /// A physical setting: `(A, C)` in the paper's notation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PhysicalSetting {
     /// The join algorithm.
     pub algorithm: JoinAlgorithm,

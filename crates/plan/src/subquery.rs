@@ -8,14 +8,13 @@
 //! twiddling.
 
 use huge_query::{QueryGraph, QueryVertex};
-use serde::{Deserialize, Serialize};
 
 /// A sub-query of a parent [`QueryGraph`]: a subset of its edges together
 /// with the vertices those edges touch.
 ///
 /// Sub-queries are always interpreted relative to a specific parent query;
 /// mixing sub-queries of different parents is a logic error (not checked).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SubQuery {
     /// Bitmask over the parent's vertices.
     verts: u32,

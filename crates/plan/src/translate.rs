@@ -18,7 +18,6 @@
 //!   already-bound root) followed by one extend per leaf in `L \ V(q'_l)`.
 
 use huge_query::{QueryGraph, QueryVertex};
-use serde::{Deserialize, Serialize};
 
 use crate::logical::{ExecutionPlan, JoinNode, PlanError};
 use crate::physical::{CommMode, JoinAlgorithm, PhysicalSetting};
@@ -26,7 +25,7 @@ use crate::subquery::SubQuery;
 
 /// A symmetry-breaking filter over row positions: requires
 /// `row[smaller] < row[larger]`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OrderFilter {
     /// Position holding the smaller data-vertex id.
     pub smaller: usize,
@@ -36,7 +35,7 @@ pub struct OrderFilter {
 
 /// The `SCAN` operator: emits one row `[f(src), f(dst)]` per directed
 /// adjacency entry of the local partition.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScanOp {
     /// Query vertex bound by the first column.
     pub src: QueryVertex,
@@ -50,7 +49,7 @@ pub struct ScanOp {
 /// intersection of the neighbourhoods of the data vertices at
 /// `ext_positions`, or — in *verify* mode — checks that an already-bound
 /// vertex lies in that intersection.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExtendOp {
     /// The query vertex being matched (or verified).
     pub target: QueryVertex,
@@ -71,7 +70,7 @@ pub struct ExtendOp {
 
 /// The `PUSH-JOIN` operator: a buffered distributed hash join of two
 /// completed segments.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JoinOp {
     /// Segment id of the left input.
     pub left: usize,
@@ -90,7 +89,7 @@ pub struct JoinOp {
 
 /// The source of a segment: either a scan of data edges or a hash join of
 /// two earlier segments.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SegmentSource {
     /// Scan of a single query edge.
     Scan(ScanOp),
@@ -99,7 +98,7 @@ pub enum SegmentSource {
 }
 
 /// A maximal `SCAN|JOIN → PULL-EXTEND*` chain of the dataflow.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Segment {
     /// Dense id of the segment; also its index in [`Dataflow::segments`].
     pub id: usize,
@@ -123,7 +122,7 @@ impl Segment {
 
 /// A complete dataflow: segments in topological order, the last one feeding
 /// the implicit `SINK`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Dataflow {
     /// The query this dataflow answers.
     pub query: QueryGraph,
@@ -173,7 +172,10 @@ impl Dataflow {
         for seg in &self.segments {
             match &seg.source {
                 SegmentSource::Scan(s) => {
-                    out.push_str(&format!("segment {}: SCAN(v{} - v{})\n", seg.id, s.src, s.dst));
+                    out.push_str(&format!(
+                        "segment {}: SCAN(v{} - v{})\n",
+                        seg.id, s.src, s.dst
+                    ));
                 }
                 SegmentSource::Join(j) => {
                     out.push_str(&format!(
@@ -329,9 +331,7 @@ impl<'q> Translator<'q> {
             // verify mode.
             let ext_positions: Vec<usize> = leaves
                 .iter()
-                .map(|&l| {
-                    position_of(&schema, l).ok_or(PlanError::BadJoinOutput(right_sub))
-                })
+                .map(|&l| position_of(&schema, l).ok_or(PlanError::BadJoinOutput(right_sub)))
                 .collect::<Result<_, _>>()?;
             match position_of(&schema, root) {
                 Some(p) => {
@@ -361,8 +361,7 @@ impl<'q> Translator<'q> {
             // Pulling-based hash join (§5.2): the star root is bound on the
             // left; V1 = bound leaves are verified, V2 = unbound leaves are
             // grown one extend at a time.
-            let root_pos =
-                position_of(&schema, root).ok_or(PlanError::BadJoinOutput(right_sub))?;
+            let root_pos = position_of(&schema, root).ok_or(PlanError::BadJoinOutput(right_sub))?;
             let bound: Vec<QueryVertex> = leaves
                 .iter()
                 .copied()
@@ -418,15 +417,28 @@ impl<'q> Translator<'q> {
             .filter(|v| right_schema.contains(v))
             .collect();
         if key.is_empty() {
-            return Err(PlanError::CartesianJoin(SubQuery::empty(), SubQuery::empty()));
+            return Err(PlanError::CartesianJoin(
+                SubQuery::empty(),
+                SubQuery::empty(),
+            ));
         }
         let key_left: Vec<usize> = key
             .iter()
-            .map(|v| left_schema.iter().position(|x| x == v).expect("key in left"))
+            .map(|v| {
+                left_schema
+                    .iter()
+                    .position(|x| x == v)
+                    .expect("key in left")
+            })
             .collect();
         let key_right: Vec<usize> = key
             .iter()
-            .map(|v| right_schema.iter().position(|x| x == v).expect("key in right"))
+            .map(|v| {
+                right_schema
+                    .iter()
+                    .position(|x| x == v)
+                    .expect("key in right")
+            })
             .collect();
         let right_payload: Vec<usize> = right_schema
             .iter()
@@ -514,9 +526,12 @@ mod tests {
     fn plan_for(pattern: Pattern) -> ExecutionPlan {
         let g = gen::barabasi_albert(1000, 5, 7);
         let est = HybridEstimator::from_graph(&g);
-        Optimizer::new(&est, CostModel::new(4, g.num_edges()).with_avg_degree(g.avg_degree()))
-            .optimize(&pattern.query_graph())
-            .unwrap()
+        Optimizer::new(
+            &est,
+            CostModel::new(4, g.num_edges()).with_avg_degree(g.avg_degree()),
+        )
+        .optimize(&pattern.query_graph())
+        .unwrap()
     }
 
     #[test]
@@ -572,13 +587,16 @@ mod tests {
         // Force a pushing plan so a PUSH-JOIN segment appears.
         let g = gen::barabasi_albert(1000, 5, 7);
         let est = HybridEstimator::from_graph(&g);
-        let plan = Optimizer::new(&est, CostModel::new(4, g.num_edges()).with_avg_degree(g.avg_degree()))
-            .with_options(crate::optimizer::OptimizerOptions {
-                disable_pulling: true,
-                ..Default::default()
-            })
-            .optimize(&Pattern::Path(6).query_graph())
-            .unwrap();
+        let plan = Optimizer::new(
+            &est,
+            CostModel::new(4, g.num_edges()).with_avg_degree(g.avg_degree()),
+        )
+        .with_options(crate::optimizer::OptimizerOptions {
+            disable_pulling: true,
+            ..Default::default()
+        })
+        .optimize(&Pattern::Path(6).query_graph())
+        .unwrap();
         let df = translate(&plan).unwrap();
         assert!(df.num_joins() >= 1);
         // Dependencies must precede dependents.

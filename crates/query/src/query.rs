@@ -1,7 +1,5 @@
 //! The query-graph representation.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a query vertex (`v1`, `v2`, … in the paper, 0-based here).
 ///
 /// Query graphs are tiny (the paper's largest has 6 vertices); we cap the
@@ -19,7 +17,7 @@ pub const MAX_QUERY_EDGES: usize = 64;
 ///
 /// Each pair `(a, b)` requires `ID(f(a)) < ID(f(b))` for a match `f`,
 /// eliminating duplicate enumeration caused by automorphisms (§2).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PartialOrder {
     constraints: Vec<(QueryVertex, QueryVertex)>,
 }
@@ -82,7 +80,7 @@ impl PartialOrder {
 }
 
 /// A small, connected, unlabelled, undirected query graph.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QueryGraph {
     num_vertices: usize,
     /// Edge list with `u < v` per edge, sorted.
@@ -240,10 +238,7 @@ impl QueryGraph {
         let root = self
             .vertices()
             .find(|&v| self.degree(v) == self.num_vertices - 1)?;
-        if self
-            .vertices()
-            .all(|v| v == root || self.degree(v) == 1)
-        {
+        if self.vertices().all(|v| v == root || self.degree(v) == 1) {
             let leaves = self.vertices().filter(|&v| v != root).collect();
             Some((root, leaves))
         } else {
@@ -330,9 +325,9 @@ impl QueryGraph {
         if mapping.len() != self.num_vertices {
             return false;
         }
-        self.edges.iter().all(|&(u, v)| {
-            self.has_edge(mapping[u as usize], mapping[v as usize])
-        })
+        self.edges
+            .iter()
+            .all(|&(u, v)| self.has_edge(mapping[u as usize], mapping[v as usize]))
     }
 }
 
@@ -407,7 +402,10 @@ mod tests {
         assert_eq!(order.len(), 5);
         let mut seen = 1u32 << order[0];
         for &v in &order[1..] {
-            assert!(q.adj_mask(v) & seen != 0, "vertex {v} not connected to prefix");
+            assert!(
+                q.adj_mask(v) & seen != 0,
+                "vertex {v} not connected to prefix"
+            );
             seen |= 1 << v;
         }
     }

@@ -44,9 +44,8 @@ fn search(
             continue;
         }
         // Adjacency with already-mapped vertices must be preserved both ways.
-        let consistent = (0..depth as QueryVertex).all(|u| {
-            q.has_edge(u, v) == q.has_edge(perm[u as usize], candidate)
-        });
+        let consistent = (0..depth as QueryVertex)
+            .all(|u| q.has_edge(u, v) == q.has_edge(perm[u as usize], candidate));
         if !consistent {
             continue;
         }
@@ -114,7 +113,9 @@ mod tests {
     fn identity_always_present() {
         let q = Pattern::Triangle.query_graph();
         let autos = automorphisms(&q);
-        assert!(autos.iter().any(|p| p.iter().enumerate().all(|(i, &x)| x as usize == i)));
+        assert!(autos
+            .iter()
+            .any(|p| p.iter().enumerate().all(|(i, &x)| x as usize == i)));
     }
 
     #[test]

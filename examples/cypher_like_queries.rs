@@ -48,8 +48,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = HugeCluster::build(graph, ClusterConfig::new(4).workers(2))?;
 
     let queries = [
-        ("friends of friends closing a triangle", "(a)-(b), (b)-(c), (a)-(c)"),
-        ("square of collaborations", "(a)-(b), (b)-(c), (c)-(d), (d)-(a)"),
+        (
+            "friends of friends closing a triangle",
+            "(a)-(b), (b)-(c), (a)-(c)",
+        ),
+        (
+            "square of collaborations",
+            "(a)-(b), (b)-(c), (c)-(d), (d)-(a)",
+        ),
         (
             "densely knit group of four",
             "(a)-(b), (a)-(c), (a)-(d), (b)-(c), (b)-(d), (c)-(d)",

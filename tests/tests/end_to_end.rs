@@ -86,11 +86,9 @@ fn results_are_independent_of_cluster_shape() {
     let expected = naive::enumerate(&graph, &query);
     for machines in [1, 2, 5] {
         for workers in [1, 3] {
-            let cluster = HugeCluster::build(
-                graph.clone(),
-                ClusterConfig::new(machines).workers(workers),
-            )
-            .unwrap();
+            let cluster =
+                HugeCluster::build(graph.clone(), ClusterConfig::new(machines).workers(workers))
+                    .unwrap();
             let report = cluster.run(&query, SinkMode::Count).unwrap();
             assert_eq!(
                 report.matches, expected,

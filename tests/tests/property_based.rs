@@ -26,10 +26,9 @@ fn arb_pattern() -> impl Strategy<Value = Pattern> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
+    // Few cases: every case runs a whole-cluster enumeration. CI further
+    // caps this suite through the PROPTEST_CASES environment variable.
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The HUGE engine agrees with the sequential reference on arbitrary
     /// graphs, queries and cluster shapes.

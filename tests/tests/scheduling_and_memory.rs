@@ -15,14 +15,19 @@ fn bounded_queues_bound_memory() {
     let query = Pattern::Square.query_graph();
     let bounded = HugeCluster::build(
         graph.clone(),
-        ClusterConfig::new(2).workers(2).output_queue_rows(2_000).batch_size(1_000),
+        ClusterConfig::new(2)
+            .workers(2)
+            .output_queue_rows(2_000)
+            .batch_size(1_000),
     )
     .unwrap()
     .run(&query, SinkMode::Count)
     .unwrap();
     let unbounded = HugeCluster::build(
         graph,
-        ClusterConfig::new(2).workers(2).output_queue_rows(usize::MAX / 2),
+        ClusterConfig::new(2)
+            .workers(2)
+            .output_queue_rows(usize::MAX / 2),
     )
     .unwrap()
     .run(&query, SinkMode::Count)
@@ -101,7 +106,10 @@ fn every_cache_design_is_correct() {
     for kind in CacheKind::ALL {
         let report = HugeCluster::build(
             graph.clone(),
-            ClusterConfig::new(3).workers(2).cache_kind(kind).cache_fraction(0.1),
+            ClusterConfig::new(3)
+                .workers(2)
+                .cache_kind(kind)
+                .cache_fraction(0.1),
         )
         .unwrap()
         .run(&query, SinkMode::Count)
@@ -153,7 +161,10 @@ fn pushing_plans_spill_and_still_count_correctly() {
         )
         .unwrap();
     let dataflow = huge_plan::translate::translate(&plan).unwrap();
-    assert!(dataflow.num_joins() >= 1, "expected a PUSH-JOIN in the plan");
+    assert!(
+        dataflow.num_joins() >= 1,
+        "expected a PUSH-JOIN in the plan"
+    );
     let report = cluster.run_with_plan(&plan, SinkMode::Count).unwrap();
     assert_eq!(report.matches, expected);
     assert!(report.comm.bytes_pushed > 0);
@@ -165,13 +176,10 @@ fn inter_machine_stealing_keeps_counts_and_moves_work() {
     let graph = gen::barabasi_albert(4_000, 10, 1);
     let query = Pattern::Triangle.query_graph();
     let expected = naive::enumerate(&graph, &query);
-    let report = HugeCluster::build(
-        graph,
-        ClusterConfig::new(4).workers(1).batch_size(512),
-    )
-    .unwrap()
-    .run(&query, SinkMode::Count)
-    .unwrap();
+    let report = HugeCluster::build(graph, ClusterConfig::new(4).workers(1).batch_size(512))
+        .unwrap()
+        .run(&query, SinkMode::Count)
+        .unwrap();
     assert_eq!(report.matches, expected);
     // Stealing is opportunistic; at least the counters must be consistent.
     let stolen: u64 = report.machines.iter().map(|m| m.batches_stolen).sum();

@@ -1,0 +1,322 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two facilities this workspace uses — MPMC channels
+//! ([`channel`]) and work-stealing deques ([`deque`]) — implemented over std
+//! primitives. The implementations favour simplicity (a mutex-protected
+//! `VecDeque`) over the lock-free algorithms of the real crate; the API and
+//! semantics (cloneable senders *and* receivers, LIFO owner pops with FIFO
+//! steals) are the same, so swapping the real crate back in is transparent.
+
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        available: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// Every sender is gone and the channel is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] when every sender is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel (cloneable, unlike `std::mpsc`).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; fails only when every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            self.shared.queue.lock().unwrap().push_back(value);
+            self.shared.available.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Wake blocked receivers so they can observe disconnection.
+                self.shared.available.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.shared.queue.lock().unwrap();
+            match queue.pop_front() {
+                Some(v) => Ok(v),
+                None => {
+                    if self.shared.senders.load(Ordering::Acquire) == 0 {
+                        Err(TryRecvError::Disconnected)
+                    } else {
+                        Err(TryRecvError::Empty)
+                    }
+                }
+            }
+        }
+
+        /// Blocking receive; fails once every sender is gone and the channel
+        /// is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.shared.available.wait(queue).unwrap();
+            }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().len()
+        }
+
+        /// `true` when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques: the owner pushes/pops one end, stealers take
+    //! from the other.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Flavor {
+        Lifo,
+        Fifo,
+    }
+
+    /// The owner handle of a deque.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    /// A stealer handle (cloneable, shareable across threads).
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// A task was stolen.
+        Success(T),
+        /// The deque was empty.
+        Empty,
+        /// The operation lost a race and may be retried.
+        Retry,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO deque (owner pops its most recent push).
+        pub fn new_lifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        /// Creates a FIFO deque (owner pops its oldest push).
+        pub fn new_fifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        /// Pushes a task onto the deque.
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap().push_back(task);
+        }
+
+        /// Pops a task (from the end determined by the flavor).
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.inner.lock().unwrap();
+            match self.flavor {
+                Flavor::Lifo => q.pop_back(),
+                Flavor::Fifo => q.pop_front(),
+            }
+        }
+
+        /// `true` when the deque holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        /// Creates a stealer for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the task at the opposite end from the owner.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` when the deque holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+    use super::deque::{Steal, Worker};
+
+    #[test]
+    fn channel_fifo_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn channel_disconnects_when_senders_drop() {
+        let (tx, rx) = unbounded::<i32>();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn channel_receivers_are_cloneable() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        tx.send(7).unwrap();
+        let got = rx1.try_recv().or_else(|_| rx2.try_recv());
+        assert_eq!(got, Ok(7));
+    }
+
+    #[test]
+    fn channel_concurrent_producers() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(t * 100 + i).unwrap();
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.try_recv() {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 400);
+    }
+
+    #[test]
+    fn deque_lifo_owner_fifo_stealer() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3)); // owner: most recent
+        assert_eq!(s.steal(), Steal::Success(1)); // stealer: oldest
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+}

@@ -1,0 +1,413 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! [`Strategy`] trait with `prop_map`/`prop_filter`, range/tuple/`Just`/
+//! collection strategies, `prop_oneof!`, and the [`proptest!`] macro driving
+//! seeded, deterministic case generation. Differences from the real crate:
+//!
+//! * **No shrinking.** A failing case reports the assertion failure with the
+//!   case's seed; re-running reproduces it exactly (generation is a pure
+//!   function of test name and case index).
+//! * **Case counts** come from `ProptestConfig` and are capped by the
+//!   `PROPTEST_CASES` environment variable (the same knob real proptest
+//!   reads), so CI can globally bound suite runtime.
+
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// The deterministic generator driving strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG derived from a test identifier and case index, so every case
+    /// of every test draws an independent, reproducible stream.
+    pub fn deterministic(test_id: &str, case: u64) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_id.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over an empty domain");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The configured case count, capped by the `PROPTEST_CASES` environment
+    /// variable when set (CI uses this to bound suite runtime).
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            Some(cap) => self.cases.min(cap.max(1)),
+            None => self.cases,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values failing the predicate (retries generation;
+    /// panics if the predicate rejects too often).
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+}
+
+/// Boxes a strategy for use in heterogeneous unions (`prop_oneof!`).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given options (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.index(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((((rng.next_u64() as u128) * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+
+    /// Strategy for `Vec`s with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` strategy with element strategy `element` and length range
+    /// `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                self.len.start + rng.index(self.len.end - self.len.start)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop` namespace (`prop::collection::vec`, …).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a proptest-based test file normally imports.
+pub mod prelude {
+    pub use crate::{
+        boxed, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Uniform choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a property-level condition (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts property-level equality.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts property-level inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property-based tests: each `fn name(arg in strategy, ...)` runs
+/// the body for `cases` seeded, deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strategy:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let cases = config.effective_cases() as u64;
+                let test_id = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..cases {
+                    let mut __rng = $crate::TestRng::deterministic(test_id, __case);
+                    $( let $arg = $crate::Strategy::generate(&($strategy), &mut __rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u32..10, y in 0usize..3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in collection::vec(0u32..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(pair in (0u32..4, 0u32..4).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair <= 6);
+        }
+
+        #[test]
+        fn filter_retries(x in (0u32..100).prop_filter("even", |x| x % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_picks_each_option(mut x in prop_oneof![Just(1u32), Just(2u32)]) {
+            x += 0;
+            prop_assert!(x == 1 || x == 2);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = collection::vec(0u32..1000, 0..50);
+        let a: Vec<_> = (0..10)
+            .map(|c| strat.generate(&mut TestRng::deterministic("t", c)))
+            .collect();
+        let b: Vec<_> = (0..10)
+            .map(|c| strat.generate(&mut TestRng::deterministic("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn env_cap_bounds_cases() {
+        // Not set in this process: effective == configured.
+        let cfg = ProptestConfig::with_cases(37);
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(cfg.effective_cases(), 37);
+        } else {
+            assert!(cfg.effective_cases() <= 37);
+        }
+    }
+}
