@@ -1,8 +1,8 @@
 //! Shared infrastructure for the baseline engines, built on the
 //! [`huge_core::exec`] batch-operator substrate.
 //!
-//! The baselines materialise their intermediate results in full (that is the
-//! behaviour the paper criticises), so the common substrate is a
+//! The baselines materialise their intermediate *results* in full (that is
+//! the behaviour the paper criticises), so the common substrate is a
 //! *distributed table*: one [`RowBatch`] buffer per machine plus the schema
 //! of query vertices bound by its columns. The operations on tables mirror
 //! the physical operators of the respective systems — star scans, pushing
@@ -15,6 +15,14 @@
 //! charged to [`huge_comm::ClusterStats`] by exactly the code paths the HUGE
 //! engine uses, so reports are directly comparable.
 //!
+//! The *shuffles* themselves stream: table rows are pushed chunk-wise
+//! through the bounded router, and when a destination inbox fills the
+//! (single-threaded) evaluator cooperatively drains it straight into the
+//! destination's `PUSH-JOIN` build. The shuffle therefore never
+//! double-buffers a whole table — transient shuffle memory is bounded by the
+//! router capacity plus the joiners' spill threshold, and it is charged to
+//! the context's [`MemoryTracker`] so the bound is observable.
+//!
 //! Execution note: machines are processed sequentially inside one thread
 //! (the baselines are far simpler than the HUGE engine); the measured wall
 //! time is divided by the machine count to approximate an ideally parallel
@@ -24,12 +32,14 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use huge_comm::router::PushEnvelope;
 use huge_comm::stats::ClusterStats;
-use huge_comm::{Router, RouterEndpoint, RowBatch, RpcFabric};
+use huge_comm::{QueueAccounting, Router, RouterEndpoint, RowBatch, RpcFabric};
 use huge_core::exec::{
     partition_by_key, partition_by_owner, run_pipeline, BatchOperator, OpContext, OpPoll, PushJoin,
 };
 use huge_core::join::{JoinSide, MemoryTrackerHandle};
+use huge_core::memory::MemoryTracker;
 use huge_core::operators::passes_filters;
 use huge_core::pool::WorkerPool;
 use huge_core::{LoadBalance, Result};
@@ -39,6 +49,12 @@ use huge_query::{PartialOrder, QueryGraph, QueryVertex};
 
 /// Default rows per batch for baseline execution.
 const DEFAULT_BATCH_SIZE: usize = 4096;
+
+/// Default per-machine router inbox capacity (rows) for baseline shuffles.
+const DEFAULT_QUEUE_ROWS: usize = 16 * DEFAULT_BATCH_SIZE;
+
+/// Default in-memory bytes per `PUSH-JOIN` side before spilling to disk.
+const DEFAULT_SPILL_BYTES: u64 = 64 * 1024 * 1024;
 
 /// A fully materialised, hash-distributed intermediate result.
 #[derive(Clone, Debug)]
@@ -103,6 +119,10 @@ pub struct BaselineCtx {
     pool: WorkerPool,
     spill_dir: PathBuf,
     batch_size: usize,
+    join_spill_bytes: u64,
+    /// Tracks transient shuffle/join memory (router inboxes, `PUSH-JOIN`
+    /// buffers and loaded partitions) — the observable streaming bound.
+    pub memory: Arc<MemoryTracker>,
     /// The query's symmetry-breaking order.
     pub order: PartialOrder,
     /// Peak per-machine intermediate-result bytes observed so far.
@@ -112,10 +132,25 @@ pub struct BaselineCtx {
 impl BaselineCtx {
     /// Creates a context over the cluster's partitions.
     pub fn new(partitions: Arc<Vec<GraphPartition>>, query: &QueryGraph) -> Self {
+        Self::with_streaming_limits(partitions, query, DEFAULT_QUEUE_ROWS, DEFAULT_SPILL_BYTES)
+    }
+
+    /// Creates a context with explicit streaming bounds: the per-machine
+    /// router inbox capacity and the per-side `PUSH-JOIN` spill threshold.
+    pub fn with_streaming_limits(
+        partitions: Arc<Vec<GraphPartition>>,
+        query: &QueryGraph,
+        queue_capacity_rows: usize,
+        join_spill_bytes: u64,
+    ) -> Self {
         let k = partitions.len();
         let stats = ClusterStats::new(k);
         let rpc = RpcFabric::new(Arc::clone(&partitions), stats.clone());
-        let router = Router::new(k, stats.clone());
+        let memory = Arc::new(MemoryTracker::new());
+        let router = Router::with_capacity(k, stats.clone(), queue_capacity_rows.max(1));
+        for m in 0..k {
+            router.set_accounting(m, Arc::clone(&memory) as Arc<dyn QueueAccounting>);
+        }
         let endpoints = (0..k).map(|m| router.endpoint(m)).collect();
         BaselineCtx {
             partitions,
@@ -124,8 +159,14 @@ impl BaselineCtx {
             endpoints,
             cache: huge_cache::LrbuCache::new(0),
             pool: WorkerPool::new(1, LoadBalance::None),
-            spill_dir: std::env::temp_dir().join(format!("huge-baselines-{}", std::process::id())),
+            spill_dir: {
+                static CTX_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                let seq = CTX_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                std::env::temp_dir().join(format!("huge-baselines-{}-{seq}", std::process::id()))
+            },
             batch_size: DEFAULT_BATCH_SIZE,
+            join_spill_bytes,
+            memory,
             order: query.order().clone(),
             peak_memory: 0,
         }
@@ -134,6 +175,12 @@ impl BaselineCtx {
     /// Number of machines.
     pub fn k(&self) -> usize {
         self.partitions.len()
+    }
+
+    /// Peak intermediate-result bytes for the run report: the largest
+    /// materialised table plus the tracked transient shuffle/join peak.
+    pub fn report_peak_memory(&self) -> u64 {
+        self.peak_memory.max(self.memory.peak())
     }
 
     /// The cluster's partitions.
@@ -175,24 +222,32 @@ impl BaselineCtx {
         passes_filters(row, &order_filters(&self.order, schema))
     }
 
-    /// Pushes the rows of `batch` owned by machine `from` to `dest` through
-    /// the accounted router (free when `dest == from`, charged otherwise —
-    /// the same rule the HUGE engine's shuffles follow).
-    fn push_shuffled(&self, from: usize, dest: usize, tag: usize, batch: RowBatch) {
-        self.endpoints[from].push(dest, tag, batch);
+    /// Non-blocking push of shuffle rows from machine `from` to `dest`
+    /// through the accounted router (free when `dest == from`, charged
+    /// otherwise — the same rule the HUGE engine's shuffles follow). On
+    /// backpressure the batch is handed back; the caller must drain the
+    /// destination inbox (machines share one thread here, so blocking would
+    /// deadlock) and retry.
+    fn try_push_shuffled(
+        &self,
+        from: usize,
+        dest: usize,
+        tag: usize,
+        batch: RowBatch,
+    ) -> std::result::Result<(), RowBatch> {
+        self.endpoints[from].try_push(dest, tag, batch)
     }
 
-    /// Drains machine `m`'s router inbox into per-tag batch lists.
-    fn drain_inbox(&self, m: usize, arity_for_tag: &dyn Fn(usize) -> usize) -> Vec<RowBatch> {
-        let mut by_tag: Vec<RowBatch> = Vec::new();
-        for env in self.endpoints[m].drain() {
-            while by_tag.len() <= env.segment {
-                by_tag.push(RowBatch::new(arity_for_tag(by_tag.len())));
-            }
-            let mut batch = env.batch;
-            by_tag[env.segment].append(&mut batch);
-        }
-        by_tag
+    /// Drains machine `m`'s router inbox.
+    fn drain_machine(&self, m: usize) -> Vec<PushEnvelope> {
+        self.endpoints[m].drain()
+    }
+
+    /// `true` when machine `m`'s inbox is at or over capacity. Pushes to the
+    /// own machine are *forced* past the bound (they must never wedge), so
+    /// streaming loops poll this to know when to drain locally too.
+    fn inbox_full(&self, m: usize) -> bool {
+        self.endpoints[m].inbox_full(m)
     }
 }
 
@@ -339,9 +394,33 @@ fn enumerate_leaf_tuples(
 // Pushing hash join
 // ---------------------------------------------------------------------------
 
+/// Tag of the left input in a hash-join shuffle.
+const LEFT_TAG: usize = 0;
+/// Tag of the right input in a hash-join shuffle.
+const RIGHT_TAG: usize = 1;
+
+/// Moves every envelope queued in machine `m`'s inbox into its joiner build.
+fn absorb_into_joiner(ctx: &BaselineCtx, m: usize, join: &mut PushJoin) -> Result<()> {
+    for env in ctx.drain_machine(m) {
+        let side = if env.segment == LEFT_TAG {
+            JoinSide::Left
+        } else {
+            JoinSide::Right
+        };
+        join.push_side(side, &env.batch)?;
+    }
+    Ok(())
+}
+
 /// A pushing distributed hash join: both sides are shuffled by the join key
 /// through the accounted router, then joined per machine with the shared
 /// [`PushJoin`] operator.
+///
+/// The shuffle *streams*: table rows are pushed chunk-wise, and whenever a
+/// destination inbox reaches capacity it is drained straight into that
+/// machine's `PUSH-JOIN` build (which itself spills past its threshold).
+/// Unlike the historic materialise-then-shuffle implementation, no copy of a
+/// whole table ever sits in the router.
 pub fn hash_join_pushing(
     ctx: &mut BaselineCtx,
     left: &DistTable,
@@ -375,53 +454,68 @@ pub fn hash_join_pushing(
     let filters = order_filters(&ctx.order, &out_schema);
 
     let k = ctx.k();
-    const LEFT_TAG: usize = 0;
-    const RIGHT_TAG: usize = 1;
-    // Shuffle both sides by key hash through the router: bytes crossing
-    // machines are charged there, one message per batch of at most
-    // `batch_size` rows — the same batch granularity the HUGE engine ships,
-    // which is what makes the reported message counts comparable.
+    let op = JoinOp {
+        left: LEFT_TAG,
+        right: RIGHT_TAG,
+        key_left,
+        key_right,
+        right_payload: payload_right,
+        filters,
+    };
+    let mut joiners: Vec<PushJoin> = (0..k)
+        .map(|m| {
+            PushJoin::new(
+                op.clone(),
+                left.arity(),
+                right.arity(),
+                ctx.join_spill_bytes,
+                ctx.spill_dir.join(format!("m{m}")),
+                MemoryTrackerHandle::Tracked(Arc::clone(&ctx.memory)),
+                ctx.batch_size,
+            )
+        })
+        .collect();
+
+    // Shuffle both sides by key hash through the router, chunk by chunk:
+    // bytes crossing machines are charged there, one message per batch of at
+    // most `batch_size` rows — the same batch granularity the HUGE engine
+    // ships, which is what makes the reported message counts comparable.
     for m in 0..k {
-        for (tag, table, keys) in [(LEFT_TAG, left, &key_left), (RIGHT_TAG, right, &key_right)] {
-            for (dest, part) in partition_by_key(&table.rows[m], keys, k)
-                .into_iter()
-                .enumerate()
-            {
-                for chunk in part.split_into_chunks(ctx.batch_size) {
-                    ctx.push_shuffled(m, dest, tag, chunk);
+        for (tag, table, keys) in [
+            (LEFT_TAG, left, &op.key_left),
+            (RIGHT_TAG, right, &op.key_right),
+        ] {
+            for chunk in table.rows[m].chunked(ctx.batch_size) {
+                for (dest, part) in partition_by_key(&chunk, keys, k).into_iter().enumerate() {
+                    let mut pending = part;
+                    loop {
+                        match ctx.try_push_shuffled(m, dest, tag, pending) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                // Destination inbox full: stream it into the
+                                // destination's build and retry.
+                                pending = back;
+                                absorb_into_joiner(ctx, dest, &mut joiners[dest])?;
+                            }
+                        }
+                    }
+                }
+                // Pushes to the own machine are forced past the bound (they
+                // can never block); drain them into the local build as soon
+                // as the inbox fills so the local share of a table is never
+                // double-buffered either.
+                if ctx.inbox_full(m) {
+                    absorb_into_joiner(ctx, m, &mut joiners[m])?;
                 }
             }
         }
     }
 
+    // Absorb whatever is still queued, then drive the joins incrementally.
     let mut output = DistTable::new(out_schema, k);
-    for m in 0..k {
-        let arities = [left.arity(), right.arity()];
-        let mut by_tag = ctx.drain_inbox(m, &|tag| arities.get(tag).copied().unwrap_or(1));
-        while by_tag.len() < 2 {
-            by_tag.push(RowBatch::new(arities[by_tag.len()]));
-        }
+    for (m, mut join) in joiners.into_iter().enumerate() {
+        absorb_into_joiner(ctx, m, &mut join)?;
         let op_ctx = ctx.op_context(m);
-        let mut join = PushJoin::new(
-            JoinOp {
-                left: LEFT_TAG,
-                right: RIGHT_TAG,
-                key_left: key_left.clone(),
-                key_right: key_right.clone(),
-                right_payload: payload_right.clone(),
-                filters: filters.clone(),
-            },
-            left.arity(),
-            right.arity(),
-            // The baselines materialise everything in memory (the behaviour
-            // the paper criticises) — never spill.
-            u64::MAX / 2,
-            ctx.spill_dir.clone(),
-            MemoryTrackerHandle::Untracked,
-            ctx.batch_size,
-        );
-        join.push_side(JoinSide::Left, &by_tag[LEFT_TAG])?;
-        join.push_side(JoinSide::Right, &by_tag[RIGHT_TAG])?;
         join.finish_input(&op_ctx)?;
         let out = &mut output.rows[m];
         while let OpPoll::Ready(mut batch) = join.poll_next(&op_ctx)? {
@@ -460,7 +554,9 @@ pub fn wco_extend_pushing(
     // vertices being intersected. Every row crossing machines is charged the
     // same bytes the original system's per-row walk would ship; messages are
     // counted per batch (not per row), matching the granularity the HUGE
-    // engine's router reports so the two are comparable.
+    // engine's router reports so the two are comparable. A full destination
+    // inbox is drained straight into the next hop's buffer, so the bounded
+    // router never holds more than its capacity.
     let mut current: Vec<RowBatch> = input.rows.clone();
     for &p in &positions {
         let arity = input.arity();
@@ -471,12 +567,32 @@ pub fn wco_extend_pushing(
                     .into_iter()
                     .enumerate()
                 {
-                    ctx.push_shuffled(m, dest, WCO_TAG, part);
+                    let mut pending = part;
+                    loop {
+                        match ctx.try_push_shuffled(m, dest, WCO_TAG, pending) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                pending = back;
+                                for env in ctx.drain_machine(dest) {
+                                    let mut batch = env.batch;
+                                    next[dest].append(&mut batch);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Forced local pushes bypass the bound: drain them as soon
+                // as the own inbox fills.
+                if ctx.inbox_full(m) {
+                    for env in ctx.drain_machine(m) {
+                        let mut batch = env.batch;
+                        next[m].append(&mut batch);
+                    }
                 }
             }
         }
         for (dest, bucket) in next.iter_mut().enumerate() {
-            for env in ctx.endpoints[dest].drain() {
+            for env in ctx.drain_machine(dest) {
                 let mut batch = env.batch;
                 bucket.append(&mut batch);
             }

@@ -47,7 +47,7 @@ fn run_join_based(
         comm_time: config.network.time_for_snapshot(&comm),
         comm_bytes: comm.total_bytes(),
         comm,
-        peak_memory_bytes: ctx.peak_memory,
+        peak_memory_bytes: ctx.report_peak_memory(),
         ..Default::default()
     })
 }

@@ -95,7 +95,7 @@ impl Rads {
             comm_time: self.config.network.time_for_snapshot(&comm),
             comm_bytes: comm.total_bytes(),
             comm,
-            peak_memory_bytes: ctx.peak_memory,
+            peak_memory_bytes: ctx.report_peak_memory(),
             ..Default::default()
         })
     }

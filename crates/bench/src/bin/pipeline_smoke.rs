@@ -1,0 +1,109 @@
+//! Pipeline smoke benchmark: a short, fixed workload over the event-driven
+//! runtime (persistent pool, notifying router, streaming shuffles) that
+//! writes a `BENCH_pipeline.json` summary artifact, so the runtime's perf
+//! trajectory is recorded per PR by CI.
+//!
+//! ```text
+//! cargo run --release -p huge-bench --bin pipeline_smoke [-- <output.json>]
+//! ```
+//!
+//! The workloads are sized to finish in well under a minute in release mode;
+//! they are smoke numbers for trend lines, not statistically sampled
+//! micro-benchmarks (use `cargo bench -p huge-bench` for those).
+
+use std::time::Instant;
+
+use huge_baselines::Baseline;
+use huge_core::pool::WorkerPool;
+use huge_core::{ClusterConfig, HugeCluster, LoadBalance, SinkMode};
+use huge_graph::gen;
+use huge_query::Pattern;
+
+struct Sample {
+    name: &'static str,
+    seconds: f64,
+    /// A workload-defined result (match count, items processed) that doubles
+    /// as a correctness fingerprint for the recorded run.
+    result: u64,
+}
+
+fn timed(name: &'static str, f: impl FnOnce() -> u64) -> Sample {
+    let start = Instant::now();
+    let result = f();
+    let seconds = start.elapsed().as_secs_f64();
+    println!("{name:<28} {seconds:>8.3}s   result {result}");
+    Sample {
+        name,
+        seconds,
+        result,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let mut samples = Vec::new();
+
+    // Persistent-pool dispatch overhead: many small batches through one pool.
+    samples.push(timed("pool_small_batches", || {
+        let pool = WorkerPool::new(4, LoadBalance::WorkStealing);
+        let mut total = 0u64;
+        for _ in 0..2_000 {
+            let run = pool.run((0..64u64).collect(), |x, out| out.push(x + 1));
+            total += run.into_flat().len() as u64;
+        }
+        assert_eq!(pool.threads_spawned(), 4);
+        total
+    }));
+
+    let graph = gen::barabasi_albert(10_000, 7, 3);
+
+    // The pulling hot path: triangles under the adaptive scheduler.
+    let triangle_cluster = HugeCluster::build(graph.clone(), ClusterConfig::new(4).workers(2))?;
+    samples.push(timed("huge_triangle_count", || {
+        triangle_cluster
+            .run(&Pattern::Triangle.query_graph(), SinkMode::Count)
+            .unwrap()
+            .matches
+    }));
+
+    // The count-only sink on the ROADMAP's chain workload (scaled down from
+    // the 5-path example so the smoke run stays short).
+    let path_graph = gen::barabasi_albert(2_000, 6, 11);
+    let path_cluster = HugeCluster::build(path_graph.clone(), ClusterConfig::new(4).workers(2))?;
+    samples.push(timed("huge_five_path_count_only", || {
+        path_cluster
+            .run(&Pattern::Path(5).query_graph(), SinkMode::Count)
+            .unwrap()
+            .matches
+    }));
+
+    // The streaming shuffle path: a pushing hash-join baseline.
+    samples.push(timed("seed_square_streaming_join", || {
+        Baseline::Seed
+            .run(
+                &path_graph,
+                &Pattern::Square.query_graph(),
+                &ClusterConfig::new(4).workers(1),
+            )
+            .unwrap()
+            .matches
+    }));
+
+    // Hand-rolled JSON (no serde in the offline build).
+    let mut json = String::from("{\n  \"benchmark\": \"pipeline_smoke\",\n  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"seconds\": {:.6}, \"result\": {}}}{}\n",
+            s.name,
+            s.seconds,
+            s.result,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json)?;
+    println!("wrote {out_path}");
+    Ok(())
+}

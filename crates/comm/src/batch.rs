@@ -111,6 +111,18 @@ impl RowBatch {
         }
     }
 
+    /// Iterates copies of this batch's rows in chunks of at most
+    /// `rows_per_chunk` rows, without consuming the batch. Only one chunk is
+    /// materialised at a time — the streaming-shuffle counterpart of
+    /// [`RowBatch::split_into_chunks`].
+    pub fn chunked(&self, rows_per_chunk: usize) -> impl Iterator<Item = RowBatch> + '_ {
+        assert!(rows_per_chunk > 0);
+        let arity = self.arity;
+        self.data
+            .chunks(rows_per_chunk * arity)
+            .map(move |c| RowBatch::from_flat(arity, c.to_vec()))
+    }
+
     /// Splits this batch into chunks of at most `rows_per_chunk` rows.
     pub fn split_into_chunks(self, rows_per_chunk: usize) -> Vec<RowBatch> {
         assert!(rows_per_chunk > 0);

@@ -32,7 +32,7 @@ pub mod stats;
 pub use batch::RowBatch;
 pub use kv::ExternalKvStore;
 pub use network::NetworkModel;
-pub use router::{Router, RouterEndpoint};
+pub use router::{PushEnvelope, QueueAccounting, Router, RouterEndpoint};
 pub use rpc::RpcFabric;
 pub use stats::{ClusterStats, CommStats};
 

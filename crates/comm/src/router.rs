@@ -2,12 +2,19 @@
 //!
 //! The paper's router "pushes data to other machines. It manages TCP streams
 //! connected to remote machines, with a queue for each connection" (§4.1).
-//! Here every pair of machines is connected by an unbounded channel carrying
-//! [`RowBatch`]es tagged with the destination segment (the operator whose
-//! inbound channel the data belongs to); the byte volume of every pushed
-//! batch is recorded against the sending machine.
+//! Here every machine owns a *bounded, event-driven inbox*: producers
+//! [`RouterEndpoint::try_push`] batches tagged with the destination segment
+//! and observe backpressure when the inbox is full; consumers demultiplex by
+//! segment ([`RouterEndpoint::try_recv_segment`]) and *park* on the inbox's
+//! notify handle ([`RouterEndpoint::wait_data`]) instead of spin-draining.
+//! The byte volume of every pushed batch is recorded against the sending
+//! machine, and the bytes queued in an inbox can be charged to the owning
+//! machine's memory accounting through [`QueueAccounting`].
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use crate::batch::RowBatch;
 use crate::stats::ClusterStats;
@@ -25,53 +32,176 @@ pub struct PushEnvelope {
     pub batch: RowBatch,
 }
 
-/// The cluster-wide router: one inbox per machine.
+/// Byte accounting hook for inbox contents, implemented by the engine's
+/// memory tracker so queued shuffle data counts towards the paper's `M`.
+pub trait QueueAccounting: Send + Sync {
+    /// Records `bytes` entering the queue.
+    fn allocate(&self, bytes: u64);
+    /// Records `bytes` leaving the queue.
+    fn release(&self, bytes: u64);
+}
+
+struct InboxState {
+    /// Per-segment demultiplexed queues (replaces consumer-side stashing).
+    by_segment: BTreeMap<usize, VecDeque<PushEnvelope>>,
+    accounting: Option<Arc<dyn QueueAccounting>>,
+}
+
+/// One machine's bounded inbox.
+struct Inbox {
+    state: Mutex<InboxState>,
+    /// Queued rows, readable without the lock for fast emptiness/fullness
+    /// checks (writes happen under the lock).
+    rows: AtomicUsize,
+    capacity_rows: usize,
+    /// Signalled when data arrives (or the owner is nudged via `wake`).
+    data: Condvar,
+    /// Signalled when space is freed.
+    space: Condvar,
+}
+
+impl Inbox {
+    fn new(capacity_rows: usize) -> Self {
+        Inbox {
+            state: Mutex::new(InboxState {
+                by_segment: BTreeMap::new(),
+                accounting: None,
+            }),
+            rows: AtomicUsize::new(0),
+            capacity_rows: capacity_rows.max(1),
+            data: Condvar::new(),
+            space: Condvar::new(),
+        }
+    }
+
+    /// Enqueues unless the inbox is at capacity (`force` bypasses the bound —
+    /// used for a machine's pushes to itself, which must never block).
+    fn push(&self, env: PushEnvelope, force: bool) -> Result<(), PushEnvelope> {
+        {
+            let mut state = self.state.lock().unwrap();
+            // "Overflow by at most one batch": accept whenever the inbox is
+            // below capacity so a single oversized batch cannot wedge.
+            if !force && self.rows.load(Ordering::Relaxed) >= self.capacity_rows {
+                return Err(env);
+            }
+            self.rows.fetch_add(env.batch.len(), Ordering::Relaxed);
+            if let Some(acct) = &state.accounting {
+                acct.allocate(env.batch.byte_size());
+            }
+            state
+                .by_segment
+                .entry(env.segment)
+                .or_default()
+                .push_back(env);
+        }
+        self.data.notify_all();
+        Ok(())
+    }
+
+    /// Dequeues the next envelope — of `segment` if given, else of the
+    /// lowest-numbered segment with data.
+    fn pop(&self, segment: Option<usize>) -> Option<PushEnvelope> {
+        let env = {
+            let mut state = self.state.lock().unwrap();
+            let key = match segment {
+                Some(s) => {
+                    if state.by_segment.get(&s).is_some_and(|q| !q.is_empty()) {
+                        s
+                    } else {
+                        return None;
+                    }
+                }
+                None => *state
+                    .by_segment
+                    .iter()
+                    .find(|(_, q)| !q.is_empty())
+                    .map(|(k, _)| k)?,
+            };
+            let queue = state.by_segment.get_mut(&key).expect("key just found");
+            let env = queue.pop_front().expect("queue non-empty");
+            if queue.is_empty() {
+                state.by_segment.remove(&key);
+            }
+            self.rows.fetch_sub(env.batch.len(), Ordering::Relaxed);
+            if let Some(acct) = &state.accounting {
+                acct.release(env.batch.byte_size());
+            }
+            env
+        };
+        self.space.notify_all();
+        Some(env)
+    }
+
+    /// Parks until data is queued, a `wake` nudge arrives, or the timeout
+    /// elapses. Returns `true` when data is available.
+    fn wait_data(&self, timeout: Duration) -> bool {
+        let state = self.state.lock().unwrap();
+        if self.rows.load(Ordering::Relaxed) > 0 {
+            return true;
+        }
+        let _unused = self.data.wait_timeout(state, timeout).unwrap();
+        self.rows.load(Ordering::Relaxed) > 0
+    }
+
+    /// Parks until space frees up or the timeout elapses.
+    fn wait_space(&self, timeout: Duration) {
+        let state = self.state.lock().unwrap();
+        if self.rows.load(Ordering::Relaxed) < self.capacity_rows {
+            return;
+        }
+        let _unused = self.space.wait_timeout(state, timeout).unwrap();
+    }
+}
+
+/// The cluster-wide router: one bounded inbox per machine.
 pub struct Router {
-    senders: Vec<Sender<PushEnvelope>>,
-    receivers: Vec<Receiver<PushEnvelope>>,
+    inboxes: Vec<Arc<Inbox>>,
     stats: ClusterStats,
 }
 
 impl Router {
-    /// Creates a router for `k` machines sharing the given statistics.
+    /// Creates a router for `k` machines with effectively unbounded inboxes.
     pub fn new(k: usize, stats: ClusterStats) -> Self {
-        let mut senders = Vec::with_capacity(k);
-        let mut receivers = Vec::with_capacity(k);
-        for _ in 0..k {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
+        Router::with_capacity(k, stats, usize::MAX / 2)
+    }
+
+    /// Creates a router whose per-machine inboxes hold at most
+    /// `capacity_rows` rows before producers see backpressure.
+    pub fn with_capacity(k: usize, stats: ClusterStats, capacity_rows: usize) -> Self {
         Router {
-            senders,
-            receivers,
+            inboxes: (0..k)
+                .map(|_| Arc::new(Inbox::new(capacity_rows)))
+                .collect(),
             stats,
         }
     }
 
     /// Number of machines.
     pub fn num_machines(&self) -> usize {
-        self.senders.len()
+        self.inboxes.len()
+    }
+
+    /// Charges the bytes queued in machine `m`'s inbox to `accounting`.
+    pub fn set_accounting(&self, m: MachineId, accounting: Arc<dyn QueueAccounting>) {
+        self.inboxes[m].state.lock().unwrap().accounting = Some(accounting);
     }
 
     /// Creates the endpoint owned by machine `m`.
     pub fn endpoint(&self, m: MachineId) -> RouterEndpoint {
         RouterEndpoint {
             machine: m,
-            senders: self.senders.clone(),
-            inbox: self.receivers[m].clone(),
+            inboxes: self.inboxes.clone(),
             stats: self.stats.clone(),
         }
     }
 }
 
 /// One machine's view of the router: it can push batches to any machine and
-/// drain its own inbox.
+/// drain (or park on) its own inbox.
 #[derive(Clone)]
 pub struct RouterEndpoint {
     machine: MachineId,
-    senders: Vec<Sender<PushEnvelope>>,
-    inbox: Receiver<PushEnvelope>,
+    inboxes: Vec<Arc<Inbox>>,
     stats: ClusterStats,
 }
 
@@ -83,35 +213,77 @@ impl RouterEndpoint {
 
     /// Number of machines reachable through the router.
     pub fn num_machines(&self) -> usize {
-        self.senders.len()
+        self.inboxes.len()
     }
 
-    /// Pushes a batch to `to`, charging its bytes to this machine unless the
-    /// destination is local (local hand-offs are free, as in the paper).
-    pub fn push(&self, to: MachineId, segment: usize, batch: RowBatch) {
-        if batch.is_empty() {
-            return;
+    fn envelope(&self, segment: usize, batch: RowBatch) -> PushEnvelope {
+        PushEnvelope {
+            from: self.machine,
+            segment,
+            batch,
         }
+    }
+
+    fn charge(&self, to: MachineId, batch: &RowBatch) {
+        // Local hand-offs are free, as in the paper.
         if to != self.machine {
             self.stats
                 .machine(self.machine)
                 .record_push(batch.byte_size());
         }
-        // The receiver can only disappear when the destination machine has
-        // already terminated, in which case the data is no longer needed.
-        let _ = self.senders[to].send(PushEnvelope {
-            from: self.machine,
-            segment,
-            batch,
-        });
+    }
+
+    /// Pushes a batch to `to`, charging its bytes to this machine. Blocks
+    /// while the destination inbox is full (backpressure); pushes to the own
+    /// machine never block. Use [`RouterEndpoint::try_push`] on paths that
+    /// must make progress while full (e.g. absorbing their own inbox).
+    pub fn push(&self, to: MachineId, segment: usize, batch: RowBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        self.charge(to, &batch);
+        let mut env = self.envelope(segment, batch);
+        let force = to == self.machine;
+        loop {
+            match self.inboxes[to].push(env, force) {
+                Ok(()) => return,
+                Err(back) => {
+                    env = back;
+                    self.inboxes[to].wait_space(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    /// Non-blocking push: on backpressure the batch is handed back so the
+    /// caller can drain its own inbox (or otherwise make progress) and retry.
+    /// The traffic is charged only once the push is accepted.
+    pub fn try_push(&self, to: MachineId, segment: usize, batch: RowBatch) -> Result<(), RowBatch> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let force = to == self.machine;
+        let bytes = batch.byte_size();
+        match self.inboxes[to].push(self.envelope(segment, batch), force) {
+            Ok(()) => {
+                // Charge only accepted pushes (rejected attempts move no data).
+                if to != self.machine {
+                    self.stats.machine(self.machine).record_push(bytes);
+                }
+                Ok(())
+            }
+            Err(env) => Err(env.batch),
+        }
     }
 
     /// Non-blocking receive of the next pushed batch, if any.
     pub fn try_recv(&self) -> Option<PushEnvelope> {
-        match self.inbox.try_recv() {
-            Ok(env) => Some(env),
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
-        }
+        self.inboxes[self.machine].pop(None)
+    }
+
+    /// Non-blocking receive restricted to one segment's queue.
+    pub fn try_recv_segment(&self, segment: usize) -> Option<PushEnvelope> {
+        self.inboxes[self.machine].pop(Some(segment))
     }
 
     /// Drains every batch currently queued in the inbox.
@@ -121,6 +293,51 @@ impl RouterEndpoint {
             out.push(env);
         }
         out
+    }
+
+    /// Drains every queued batch belonging to `segment`.
+    pub fn drain_segment(&self, segment: usize) -> Vec<PushEnvelope> {
+        let mut out = Vec::new();
+        while let Some(env) = self.try_recv_segment(segment) {
+            out.push(env);
+        }
+        out
+    }
+
+    /// Rows currently queued in this machine's inbox.
+    pub fn queued_rows(&self) -> usize {
+        self.inboxes[self.machine].rows.load(Ordering::Relaxed)
+    }
+
+    /// `true` when machine `to`'s inbox is at or over capacity (lock-free).
+    /// Forced local pushes can overfill an inbox past its bound; callers
+    /// that force (see [`RouterEndpoint::push`]) should poll this and drain.
+    pub fn inbox_full(&self, to: MachineId) -> bool {
+        self.inboxes[to].rows.load(Ordering::Relaxed) >= self.inboxes[to].capacity_rows
+    }
+
+    /// `true` when this machine's inbox holds data (lock-free check).
+    pub fn has_data(&self) -> bool {
+        self.queued_rows() > 0
+    }
+
+    /// Parks the calling thread until data arrives in this machine's inbox,
+    /// a [`RouterEndpoint::wake`] nudge lands, or `timeout` elapses. Returns
+    /// `true` when data is available — the event-driven replacement for
+    /// busy-draining `try_recv`.
+    pub fn wait_data(&self, timeout: Duration) -> bool {
+        self.inboxes[self.machine].wait_data(timeout)
+    }
+
+    /// Parks until machine `to`'s inbox has room (or `timeout` elapses).
+    pub fn wait_space(&self, to: MachineId, timeout: Duration) {
+        self.inboxes[to].wait_space(timeout)
+    }
+
+    /// Wakes machine `to` if it is parked in [`RouterEndpoint::wait_data`]
+    /// (used to re-check termination conditions without data arriving).
+    pub fn wake(&self, to: MachineId) {
+        self.inboxes[to].data.notify_all();
     }
 }
 
@@ -195,5 +412,89 @@ mod tests {
             }
         });
         assert_eq!(target.drain().len(), 300);
+    }
+
+    #[test]
+    fn segment_demux_pops_only_the_requested_segment() {
+        let stats = ClusterStats::new(2);
+        let router = Router::new(2, stats);
+        let a = router.endpoint(0);
+        let b = router.endpoint(1);
+        a.push(1, 5, batch(&[1]));
+        a.push(1, 9, batch(&[2, 3]));
+        a.push(1, 5, batch(&[4]));
+        assert!(b.try_recv_segment(7).is_none());
+        let first = b.try_recv_segment(9).unwrap();
+        assert_eq!(first.batch.len(), 2);
+        assert_eq!(b.drain_segment(5).len(), 2);
+        assert!(b.try_recv_segment(5).is_none());
+        assert!(!b.has_data());
+    }
+
+    #[test]
+    fn try_push_observes_capacity() {
+        let stats = ClusterStats::new(2);
+        let router = Router::with_capacity(2, stats.clone(), 4);
+        let a = router.endpoint(0);
+        // Below capacity: accepted (and may overflow by one batch).
+        assert!(a.try_push(1, 0, batch(&[1, 2, 3])).is_ok());
+        assert!(a.try_push(1, 0, batch(&[4, 5])).is_ok());
+        // At/over capacity: handed back.
+        let rejected = a.try_push(1, 0, batch(&[6])).unwrap_err();
+        assert_eq!(rejected.len(), 1);
+        // Local pushes bypass the bound so a machine can never wedge itself.
+        assert!(a.try_push(0, 0, batch(&[7; 10])).is_ok());
+        // Popping frees space again.
+        let b = router.endpoint(1);
+        while b.try_recv().is_some() {}
+        assert!(a.try_push(1, 0, batch(&[6])).is_ok());
+    }
+
+    #[test]
+    fn queue_accounting_tracks_inbox_bytes() {
+        struct Counter(AtomicUsize);
+        impl QueueAccounting for Counter {
+            fn allocate(&self, bytes: u64) {
+                self.0.fetch_add(bytes as usize, Ordering::SeqCst);
+            }
+            fn release(&self, bytes: u64) {
+                self.0.fetch_sub(bytes as usize, Ordering::SeqCst);
+            }
+        }
+        let stats = ClusterStats::new(2);
+        let router = Router::new(2, stats);
+        let counter = Arc::new(Counter(AtomicUsize::new(0)));
+        router.set_accounting(1, Arc::clone(&counter) as Arc<dyn QueueAccounting>);
+        let a = router.endpoint(0);
+        a.push(1, 0, batch(&[1, 2, 3]));
+        assert_eq!(counter.0.load(Ordering::SeqCst), 12);
+        router.endpoint(1).drain();
+        assert_eq!(counter.0.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn parked_consumer_wakes_on_push() {
+        let stats = ClusterStats::new(2);
+        let router = Router::new(2, stats);
+        let a = router.endpoint(0);
+        let b = router.endpoint(1);
+        std::thread::scope(|s| {
+            let handle = s.spawn(move || {
+                let mut got = 0;
+                while got < 3 {
+                    if b.wait_data(Duration::from_millis(50)) {
+                        while b.try_recv().is_some() {
+                            got += 1;
+                        }
+                    }
+                }
+                got
+            });
+            for i in 0..3 {
+                a.push(1, 0, batch(&[i]));
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            assert_eq!(handle.join().unwrap(), 3);
+        });
     }
 }

@@ -1,7 +1,7 @@
 //! The public entry point: [`HugeCluster`].
 
 use std::path::PathBuf;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicUsize};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -116,7 +116,10 @@ impl HugeCluster {
     pub fn run_dataflow(&self, dataflow: &Dataflow, sink: SinkMode) -> Result<RunReport> {
         let k = self.config.machines;
         let comm_stats = ClusterStats::new(k);
-        let router = Router::new(k, comm_stats.clone());
+        // Bounded, event-driven router: producers see backpressure when a
+        // destination inbox fills; consumers park on it instead of spinning.
+        let router =
+            Router::with_capacity(k, comm_stats.clone(), self.config.router_queue_rows.max(1));
         let rpc = RpcFabric::new(Arc::clone(&self.partitions), comm_stats.clone());
         let memory = ClusterMemory::new(k);
         let cache_bytes = self.config.effective_cache_bytes(self.stats.csr_bytes);
@@ -125,21 +128,30 @@ impl HugeCluster {
         // Per-machine state, persisted across segments.
         let mut machines: Vec<MachineState> = (0..k)
             .map(|m| {
+                let tracker = Arc::new(crate::memory::MemoryTracker::new());
+                // Bytes queued in the machine's router inbox count towards
+                // its intermediate-result memory (the paper's M).
+                router.set_accounting(m, Arc::clone(&tracker) as _);
                 MachineState::new(
                     m,
                     self.partitions[m].clone(),
                     self.config.cache_kind.build(cache_bytes),
                     router.endpoint(m),
                     rpc.clone(),
-                    Arc::new(crate::memory::MemoryTracker::new()),
+                    tracker,
                     self.config.clone(),
                     spill_root.join(format!("machine-{m}")),
                 )
             })
             .collect();
 
-        // Work out each segment's terminal and (for joins) producer arities.
+        // Work out each segment's terminal and (for joins) producer arities,
+        // then pre-instantiate every join segment's PUSH-JOIN on each machine
+        // so shuffled inputs stream into the builds as they arrive.
         let segment_plans = build_segment_plans(dataflow);
+        for state in machines.iter_mut() {
+            state.prepare_run(&segment_plans);
+        }
 
         let start = Instant::now();
         for plan in &segment_plans {
@@ -166,6 +178,8 @@ impl HugeCluster {
                 scan_pools,
                 queues,
                 idle: (0..k).map(|_| AtomicBool::new(false)).collect(),
+                remaining: AtomicUsize::new(k),
+                aborted: AtomicBool::new(false),
             };
 
             let mut outcome: Vec<Result<()>> = Vec::with_capacity(k);

@@ -41,6 +41,10 @@ pub struct ClusterConfig {
     /// Capacity of each operator's output queue in rows (§5.2). `usize::MAX`
     /// degenerates to pure BFS scheduling, `0` to pure DFS scheduling.
     pub output_queue_rows: usize,
+    /// Capacity of each machine's router inbox in rows. Producers shuffling
+    /// join inputs observe backpressure when a destination inbox is full and
+    /// cooperate by absorbing their own inbox while they wait.
+    pub router_queue_rows: usize,
     /// Cache capacity as a fraction of the data graph's CSR size (the paper
     /// defaults to 30%). Ignored if `cache_capacity_bytes` is set.
     pub cache_capacity_fraction: f64,
@@ -70,6 +74,7 @@ impl ClusterConfig {
             workers_per_machine: 2,
             batch_size: 8 * 1024,
             output_queue_rows: 128 * 1024,
+            router_queue_rows: 256 * 1024,
             cache_capacity_fraction: 0.3,
             cache_capacity_bytes: None,
             cache_kind: CacheKind::Lrbu,
@@ -96,6 +101,12 @@ impl ClusterConfig {
     /// Sets the output queue capacity in rows.
     pub fn output_queue_rows(mut self, rows: usize) -> Self {
         self.output_queue_rows = rows;
+        self
+    }
+
+    /// Sets the router inbox capacity in rows.
+    pub fn router_queue_rows(mut self, rows: usize) -> Self {
+        self.router_queue_rows = rows.max(1);
         self
     }
 

@@ -32,7 +32,7 @@ use huge_comm::{MachineId, RowBatch, RpcFabric};
 use huge_graph::GraphPartition;
 use huge_plan::translate::{ExtendOp, JoinOp, ScanOp};
 
-use crate::join::{key_hash, HashJoiner, JoinSide, MemoryTrackerHandle};
+use crate::join::{key_hash, HashJoiner, JoinSide, JoinStream, MemoryTrackerHandle};
 use crate::operators::{run_extend, ScanCursor, ScanPool};
 use crate::pool::WorkerPool;
 use crate::{EngineError, Result};
@@ -152,11 +152,19 @@ impl BatchOperator for ScanSource {
 /// Each queued input batch runs the two-stage fetch/intersect extension
 /// (Algorithm 4); fetch time and per-worker busy time accumulate and can be
 /// drained with [`PullExtend::take_timings`].
+///
+/// In *count-only* mode ([`PullExtend::set_count_only`]) the operator never
+/// materialises its output rows: it counts the extensions each input batch
+/// would produce (accumulated in [`PullExtend::take_count`]) and emits no
+/// batches — the fast path for count sinks on chain/path queries, whose
+/// final extension column dominates the materialised volume.
 pub struct PullExtend {
     op: ExtendOp,
     inputs: VecDeque<RowBatch>,
     input_done: bool,
     out_arity: usize,
+    count_only: bool,
+    counted: u64,
     fetch_time: Duration,
     worker_busy: Vec<Duration>,
 }
@@ -169,6 +177,8 @@ impl PullExtend {
             inputs: VecDeque::new(),
             input_done: false,
             out_arity: 0,
+            count_only: false,
+            counted: 0,
             fetch_time: Duration::ZERO,
             worker_busy: Vec::new(),
         }
@@ -179,12 +189,33 @@ impl PullExtend {
         &self.op
     }
 
+    /// Switches the operator to count-only mode: inputs are counted, not
+    /// materialised, and polling never yields output batches.
+    pub fn set_count_only(&mut self, count_only: bool) {
+        self.count_only = count_only;
+    }
+
+    /// Drains the extensions counted in count-only mode.
+    pub fn take_count(&mut self) -> u64 {
+        std::mem::take(&mut self.counted)
+    }
+
     /// Drains the accumulated (fetch time, per-worker busy time) counters.
     pub fn take_timings(&mut self) -> (Duration, Vec<Duration>) {
         (
             std::mem::take(&mut self.fetch_time),
             std::mem::take(&mut self.worker_busy),
         )
+    }
+
+    fn absorb_timings(&mut self, fetch: Duration, busy: &[Duration]) {
+        self.fetch_time += fetch;
+        if self.worker_busy.len() < busy.len() {
+            self.worker_busy.resize(busy.len(), Duration::ZERO);
+        }
+        for (w, d) in busy.iter().enumerate() {
+            self.worker_busy[w] += *d;
+        }
     }
 }
 
@@ -221,15 +252,18 @@ impl BatchOperator for PullExtend {
                 OpPoll::Pending
             });
         };
+        if self.count_only {
+            let out = crate::operators::run_extend_count(&self.op, &input, ctx);
+            self.counted += out.count;
+            self.absorb_timings(out.fetch_time, &out.worker_busy);
+            return Ok(if self.input_done && self.inputs.is_empty() {
+                OpPoll::Exhausted
+            } else {
+                OpPoll::Pending
+            });
+        }
         let out = run_extend(&self.op, &input, ctx);
-        self.fetch_time += out.fetch_time;
-        if self.worker_busy.len() < out.worker_busy.len() {
-            self.worker_busy
-                .resize(out.worker_busy.len(), Duration::ZERO);
-        }
-        for (w, d) in out.worker_busy.iter().enumerate() {
-            self.worker_busy[w] += *d;
-        }
+        self.absorb_timings(out.fetch_time, &out.worker_busy);
         Ok(OpPoll::Ready(out.batch))
     }
 }
@@ -240,15 +274,16 @@ impl BatchOperator for PullExtend {
 
 /// The `PUSH-JOIN` operator behind the [`BatchOperator`] interface.
 ///
-/// A binary operator: feed each side with [`PushJoin::push_side`], then
-/// either stream the joined output with [`PushJoin::finish_into`] (the HUGE
-/// engine does this to keep memory bounded) or seal with
-/// [`BatchOperator::finish_input`] and poll the buffered result.
+/// A binary operator: feed each side with [`PushJoin::push_side`], then seal
+/// with [`BatchOperator::finish_input`] and poll. Sealing converts the
+/// buffered joiner into a lazily-driven [`JoinStream`], so *polling* drives
+/// the Grace partitions one at a time — memory is bounded by one partition
+/// plus one output batch on every consumption path.
 pub struct PushJoin {
     joiner: Option<HashJoiner>,
+    stream: Option<JoinStream>,
     out_arity: usize,
     batch_rows: usize,
-    outputs: VecDeque<RowBatch>,
     produced: u64,
 }
 
@@ -274,9 +309,9 @@ impl PushJoin {
         let out_arity = joiner.output_arity();
         PushJoin {
             joiner: Some(joiner),
+            stream: None,
             out_arity,
             batch_rows: batch_rows.max(1),
-            outputs: VecDeque::new(),
             produced: 0,
         }
     }
@@ -291,21 +326,15 @@ impl PushJoin {
         }
     }
 
-    /// Finishes the join, streaming output batches into `emit` instead of
-    /// buffering them. Returns the number of joined rows.
-    pub fn finish_into(&mut self, emit: impl FnMut(RowBatch)) -> Result<u64> {
-        let joiner = self
-            .joiner
-            .take()
-            .ok_or_else(|| EngineError::Config("PUSH-JOIN finished twice".into()))?;
-        let produced = joiner.finish(self.batch_rows, emit)?;
-        self.produced += produced;
-        Ok(produced)
-    }
-
     /// Joined rows emitted so far.
     pub fn produced(&self) -> u64 {
         self.produced
+    }
+
+    /// `true` while the join may still produce output (inputs not sealed, or
+    /// the sealed stream has partitions left).
+    pub fn has_more(&self) -> bool {
+        self.joiner.is_some() || self.stream.as_ref().is_some_and(|s| !s.is_exhausted())
     }
 }
 
@@ -325,21 +354,32 @@ impl BatchOperator for PushJoin {
     }
 
     fn finish_input(&mut self, _ctx: &OpContext<'_>) -> Result<()> {
-        if self.joiner.is_some() {
-            let mut buffered = VecDeque::new();
-            let joiner = self.joiner.take().expect("checked above");
-            self.produced += joiner.finish(self.batch_rows, |b| buffered.push_back(b))?;
-            self.outputs.append(&mut buffered);
+        if let Some(joiner) = self.joiner.take() {
+            // Sealing is cheap: partitions stay buffered/spilled until the
+            // stream is polled.
+            self.stream = Some(joiner.into_stream(self.batch_rows));
         }
         Ok(())
     }
 
     fn poll_next(&mut self, _ctx: &OpContext<'_>) -> Result<OpPoll> {
-        match self.outputs.pop_front() {
-            Some(batch) => Ok(OpPoll::Ready(batch)),
-            None if self.joiner.is_none() => Ok(OpPoll::Exhausted),
-            None => Ok(OpPoll::Pending),
+        if let Some(stream) = self.stream.as_mut() {
+            match stream.next_batch()? {
+                Some(batch) => {
+                    self.produced += batch.len() as u64;
+                    return Ok(OpPoll::Ready(batch));
+                }
+                None => {
+                    self.stream = None;
+                    return Ok(OpPoll::Exhausted);
+                }
+            }
         }
+        Ok(if self.joiner.is_some() {
+            OpPoll::Pending
+        } else {
+            OpPoll::Exhausted
+        })
     }
 }
 

@@ -4,12 +4,14 @@
 //! Each side of the join is hash-partitioned by join key into a fixed number
 //! of partitions. A partition buffers rows in memory until the configured
 //! threshold, after which further rows are appended to a temporary file on
-//! disk. When both inputs are complete, partitions are processed one at a
-//! time: the corresponding left and right rows are loaded, an in-memory hash
-//! table is built over the smaller side and probed with the other, and the
-//! joined rows are emitted in batches. Memory is therefore bounded by the
-//! largest single partition plus one output batch, matching the paper's
-//! "memory consumption is bounded to the buffer size" claim.
+//! disk. When both inputs are complete, the joiner converts into a
+//! [`JoinStream`] that drives the partitions *lazily*: each
+//! [`JoinStream::next_batch`] call loads at most one partition, builds an
+//! in-memory hash table over the right rows, and probes with the left rows
+//! until one output batch is filled. Memory is therefore bounded by the
+//! largest single partition plus one output batch — matching the paper's
+//! "memory consumption is bounded to the buffer size" claim — on *every*
+//! consumption path, including incremental `poll`-driven execution.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -59,6 +61,14 @@ impl SidePartition {
             memory_bytes: 0,
             spill_file: None,
             spilled_values: 0,
+        }
+    }
+}
+
+impl Drop for SidePartition {
+    fn drop(&mut self) {
+        if let Some(path) = self.spill_file.take() {
+            let _ = std::fs::remove_file(path);
         }
     }
 }
@@ -211,83 +221,55 @@ impl HashJoiner {
             .any(|p| p.spill_file.is_some())
     }
 
-    /// Finishes the join: processes every partition and invokes `emit` with
-    /// output batches of at most `batch_rows` rows.
-    pub fn finish(mut self, batch_rows: usize, mut emit: impl FnMut(RowBatch)) -> Result<u64> {
-        let out_arity = self.output_arity();
-        let mut produced = 0u64;
-        for p in 0..NUM_PARTITIONS {
-            let left_rows = load_partition(&mut self.left, p, &self.memory)?;
-            if left_rows.is_empty() {
-                continue;
-            }
-            let right_rows = load_partition(&mut self.right, p, &self.memory)?;
-            if right_rows.is_empty() {
-                continue;
-            }
-            // Build on the right side, probe with the left (the left's
-            // columns form the output prefix either way).
-            let mut table: std::collections::HashMap<Vec<VertexId>, Vec<usize>> =
-                std::collections::HashMap::new();
-            for (idx, row) in right_rows.chunks_exact(self.right.arity).enumerate() {
-                let key: Vec<VertexId> = self.op.key_right.iter().map(|&pos| row[pos]).collect();
-                table.entry(key).or_default().push(idx);
-            }
-            let mut out = RowBatch::with_capacity(out_arity, batch_rows.min(64 * 1024));
-            for lrow in left_rows.chunks_exact(self.left.arity) {
-                let key: Vec<VertexId> = self.op.key_left.iter().map(|&pos| lrow[pos]).collect();
-                let Some(matches) = table.get(&key) else {
-                    continue;
-                };
-                for &ridx in matches {
-                    let rrow = &right_rows[ridx * self.right.arity..(ridx + 1) * self.right.arity];
-                    // Cross-side injectivity: appended payload vertices must
-                    // not collide with any left-bound vertex.
-                    let payload_ok = self
-                        .op
-                        .right_payload
-                        .iter()
-                        .all(|&pos| !lrow.contains(&rrow[pos]));
-                    if !payload_ok {
-                        continue;
-                    }
-                    let mut joined: Vec<VertexId> = Vec::with_capacity(out_arity);
-                    joined.extend_from_slice(lrow);
-                    for &pos in &self.op.right_payload {
-                        joined.push(rrow[pos]);
-                    }
-                    if !passes_filters(&joined, &self.op.filters) {
-                        continue;
-                    }
-                    out.push_row(&joined);
-                    produced += 1;
-                    if out.len() >= batch_rows {
-                        emit(std::mem::replace(
-                            &mut out,
-                            RowBatch::with_capacity(out_arity, batch_rows.min(64 * 1024)),
-                        ));
-                    }
-                }
-            }
-            if !out.is_empty() {
-                emit(out);
-            }
+    /// Seals both inputs and converts the joiner into a lazily-driven
+    /// [`JoinStream`]. Partitions are loaded one at a time as the stream is
+    /// polled, so the consumer controls the pace (and the memory).
+    pub fn into_stream(mut self, batch_rows: usize) -> JoinStream {
+        let op = std::mem::replace(
+            &mut self.op,
+            JoinOp {
+                left: 0,
+                right: 0,
+                key_left: Vec::new(),
+                key_right: Vec::new(),
+                right_payload: Vec::new(),
+                filters: Vec::new(),
+            },
+        );
+        let left = std::mem::replace(&mut self.left, SideBuffer::new(0, Vec::new()));
+        let right = std::mem::replace(&mut self.right, SideBuffer::new(0, Vec::new()));
+        let memory = self.memory.clone();
+        let out_arity = left.arity + op.right_payload.len();
+        JoinStream {
+            op,
+            left,
+            right,
+            memory,
+            batch_rows: batch_rows.max(1),
+            out_arity,
+            partition: 0,
+            current: None,
+            produced: 0,
         }
-        self.cleanup();
-        Ok(produced)
     }
 
-    fn cleanup(&mut self) {
-        for part in self
-            .left
-            .partitions
-            .iter()
-            .chain(self.right.partitions.iter())
-        {
-            if let Some(path) = &part.spill_file {
-                let _ = std::fs::remove_file(path);
-            }
+    /// Finishes the join eagerly: processes every partition and invokes
+    /// `emit` with output batches of at most `batch_rows` rows. Returns the
+    /// number of joined rows. (A convenience wrapper over
+    /// [`HashJoiner::into_stream`].)
+    pub fn finish(self, batch_rows: usize, mut emit: impl FnMut(RowBatch)) -> Result<u64> {
+        let mut stream = self.into_stream(batch_rows);
+        while let Some(batch) = stream.next_batch()? {
+            emit(batch);
         }
+        Ok(stream.produced())
+    }
+}
+
+impl Drop for HashJoiner {
+    fn drop(&mut self) {
+        // Balance the tracker if the joiner is dropped before streaming
+        // (spill files are removed by the partitions' own `Drop`).
         self.memory
             .release(self.left.buffered_bytes + self.right.buffered_bytes);
         self.left.buffered_bytes = 0;
@@ -295,23 +277,195 @@ impl HashJoiner {
     }
 }
 
-impl Drop for HashJoiner {
-    fn drop(&mut self) {
-        for part in self
-            .left
-            .partitions
-            .iter()
-            .chain(self.right.partitions.iter())
-        {
-            if let Some(path) = &part.spill_file {
-                let _ = std::fs::remove_file(path);
+/// Probe state of the one partition currently loaded in memory.
+struct PartitionProbe {
+    left_rows: Vec<VertexId>,
+    right_rows: Vec<VertexId>,
+    /// Right-side hash table: join key -> right row indices.
+    table: std::collections::HashMap<Vec<VertexId>, Vec<usize>>,
+    /// Index of the left row being probed.
+    probe: usize,
+    /// Matching right-row indices of the current left row.
+    matches: Vec<usize>,
+    /// Cursor into `matches`.
+    match_pos: usize,
+    /// Bytes of the loaded rows, charged to the tracker while resident.
+    loaded_bytes: u64,
+}
+
+/// The sealed join, driven lazily one output batch at a time.
+///
+/// At any moment at most one Grace partition is resident in memory; spill
+/// files are deleted as their partitions are consumed (and by `Drop` if the
+/// stream is abandoned early).
+pub struct JoinStream {
+    op: JoinOp,
+    left: SideBuffer,
+    right: SideBuffer,
+    memory: MemoryTrackerHandle,
+    batch_rows: usize,
+    out_arity: usize,
+    partition: usize,
+    current: Option<PartitionProbe>,
+    produced: u64,
+}
+
+impl JoinStream {
+    /// Arity of the joined output rows.
+    pub fn output_arity(&self) -> usize {
+        self.out_arity
+    }
+
+    /// Joined rows emitted so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// `true` once every partition has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.current.is_none() && self.partition >= NUM_PARTITIONS
+    }
+
+    /// Produces the next output batch (at most `batch_rows` rows), or `None`
+    /// when the join is exhausted.
+    pub fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        loop {
+            if self.current.is_none() {
+                if self.partition >= NUM_PARTITIONS {
+                    return Ok(None);
+                }
+                let p = self.partition;
+                self.partition += 1;
+                let left_rows = load_partition(&mut self.left, p, &self.memory)?;
+                if left_rows.is_empty() {
+                    // Nothing to probe with: unlink the right side's buffer
+                    // and spill file without reading it back.
+                    discard_partition(&mut self.right, p, &self.memory);
+                    continue;
+                }
+                let right_rows = load_partition(&mut self.right, p, &self.memory)?;
+                if right_rows.is_empty() {
+                    continue;
+                }
+                // Build on the right side, probe with the left (the left's
+                // columns form the output prefix either way).
+                let mut table: std::collections::HashMap<Vec<VertexId>, Vec<usize>> =
+                    std::collections::HashMap::new();
+                for (idx, row) in right_rows.chunks_exact(self.right.arity).enumerate() {
+                    let key: Vec<VertexId> =
+                        self.op.key_right.iter().map(|&pos| row[pos]).collect();
+                    table.entry(key).or_default().push(idx);
+                }
+                let loaded_bytes =
+                    ((left_rows.len() + right_rows.len()) * std::mem::size_of::<VertexId>()) as u64;
+                self.memory.allocate(loaded_bytes);
+                self.current = Some(PartitionProbe {
+                    left_rows,
+                    right_rows,
+                    table,
+                    probe: 0,
+                    matches: Vec::new(),
+                    match_pos: 0,
+                    loaded_bytes,
+                });
             }
+
+            let mut out = RowBatch::with_capacity(self.out_arity, self.batch_rows.min(64 * 1024));
+            let exhausted = self.fill_from_current(&mut out);
+            if exhausted {
+                let probe = self.current.take().expect("current probe exists");
+                self.memory.release(probe.loaded_bytes);
+            }
+            if !out.is_empty() {
+                self.produced += out.len() as u64;
+                return Ok(Some(out));
+            }
+            // The partition produced nothing (no key overlap): move on.
+        }
+    }
+
+    /// Probes the current partition until `out` is full or the partition is
+    /// exhausted. Returns `true` when the partition is exhausted.
+    fn fill_from_current(&mut self, out: &mut RowBatch) -> bool {
+        let probe = self.current.as_mut().expect("current probe exists");
+        let left_arity = self.left.arity;
+        let right_arity = self.right.arity;
+        let left_len = probe.left_rows.len() / left_arity.max(1);
+        let mut joined: Vec<VertexId> = Vec::with_capacity(self.out_arity);
+        while out.len() < self.batch_rows {
+            if probe.probe >= left_len {
+                return true;
+            }
+            let lrow = &probe.left_rows[probe.probe * left_arity..(probe.probe + 1) * left_arity];
+            if probe.match_pos == 0 && probe.matches.is_empty() {
+                let key: Vec<VertexId> = self.op.key_left.iter().map(|&pos| lrow[pos]).collect();
+                if let Some(matches) = probe.table.get(&key) {
+                    probe.matches.clone_from(matches);
+                }
+            }
+            while probe.match_pos < probe.matches.len() && out.len() < self.batch_rows {
+                let ridx = probe.matches[probe.match_pos];
+                probe.match_pos += 1;
+                let rrow = &probe.right_rows[ridx * right_arity..(ridx + 1) * right_arity];
+                // Cross-side injectivity: appended payload vertices must not
+                // collide with any left-bound vertex.
+                let payload_ok = self
+                    .op
+                    .right_payload
+                    .iter()
+                    .all(|&pos| !lrow.contains(&rrow[pos]));
+                if !payload_ok {
+                    continue;
+                }
+                joined.clear();
+                joined.extend_from_slice(lrow);
+                for &pos in &self.op.right_payload {
+                    joined.push(rrow[pos]);
+                }
+                if passes_filters(&joined, &self.op.filters) {
+                    out.push_row(&joined);
+                }
+            }
+            if probe.match_pos >= probe.matches.len() {
+                probe.probe += 1;
+                probe.matches.clear();
+                probe.match_pos = 0;
+            }
+        }
+        false
+    }
+}
+
+impl Drop for JoinStream {
+    fn drop(&mut self) {
+        // Balance the tracker for anything still buffered or loaded (spill
+        // files are removed by the partitions' own `Drop`).
+        self.memory
+            .release(self.left.buffered_bytes + self.right.buffered_bytes);
+        self.left.buffered_bytes = 0;
+        self.right.buffered_bytes = 0;
+        if let Some(probe) = self.current.take() {
+            self.memory.release(probe.loaded_bytes);
         }
     }
 }
 
+/// Drops one partition of one side without reading it back: releases its
+/// in-memory rows and unlinks its spill file (used when the opposite side's
+/// partition is empty, so the join cannot produce anything from it).
+fn discard_partition(side: &mut SideBuffer, p: usize, memory: &MemoryTrackerHandle) {
+    let part = &mut side.partitions[p];
+    part.rows_in_memory = Vec::new();
+    side.buffered_bytes -= part.memory_bytes;
+    memory.release(part.memory_bytes);
+    part.memory_bytes = 0;
+    if let Some(path) = part.spill_file.take() {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
 /// Loads one partition of one side back into memory (in-memory rows plus any
-/// spilled rows).
+/// spilled rows); the spill file, if any, is deleted afterwards.
 fn load_partition(
     side: &mut SideBuffer,
     p: usize,
@@ -322,8 +476,8 @@ fn load_partition(
     side.buffered_bytes -= part.memory_bytes;
     memory.release(part.memory_bytes);
     part.memory_bytes = 0;
-    if let Some(path) = &part.spill_file {
-        let file = File::open(path)?;
+    if let Some(path) = part.spill_file.take() {
+        let file = File::open(&path)?;
         let mut reader = BufReader::new(file);
         let mut buf = [0u8; 4];
         let mut from_disk = Vec::with_capacity(part.spilled_values as usize);
@@ -331,6 +485,7 @@ fn load_partition(
             from_disk.push(VertexId::from_le_bytes(buf));
         }
         rows.extend(from_disk);
+        let _ = std::fs::remove_file(&path);
     }
     Ok(rows)
 }

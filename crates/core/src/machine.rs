@@ -1,13 +1,20 @@
 //! The per-machine runtime: segment execution under the BFS/DFS-adaptive
 //! scheduler, the segment terminals (`SINK` and the `PUSH-JOIN` shuffle), and
 //! inter-machine work stealing.
+//!
+//! The runtime is *pipelined*: join inputs shuffled during a producing
+//! segment are absorbed into pre-instantiated [`PushJoin`] operators as they
+//! arrive ([`MachineState::absorb_inbox`]), so shuffle and build phases
+//! overlap and the bounded router inboxes never need to hold a segment's
+//! whole output. When a machine has nothing to compute it *parks* on the
+//! router's notify handle instead of spinning.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use huge_cache::PullCache;
-use huge_comm::router::PushEnvelope;
 use huge_comm::{MachineId, RouterEndpoint, RowBatch, RpcFabric};
 use huge_graph::GraphPartition;
 use huge_plan::translate::{Segment, SegmentSource};
@@ -24,7 +31,11 @@ use crate::operators::ScanPool;
 use crate::pool::WorkerPool;
 use crate::report::MachineReport;
 use crate::scheduler::SegmentQueues;
-use crate::Result;
+use crate::{EngineError, Result};
+
+/// How long a machine parks on the router before re-checking termination
+/// conditions (idle flags, segment completion) that arrive without data.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 
 /// What happens to a segment's output rows.
 #[derive(Clone, Debug)]
@@ -54,7 +65,7 @@ pub struct SegmentPlan {
 }
 
 /// Cross-machine shared state for one segment: every machine's stealable
-/// scan pool and operator queues, plus the idle flags used for termination.
+/// scan pool and operator queues, plus the flags used for termination.
 pub struct SharedSegmentState {
     /// One scan pool per machine (empty for join segments).
     pub scan_pools: Vec<ScanPool>,
@@ -62,6 +73,66 @@ pub struct SharedSegmentState {
     pub queues: Vec<Arc<SegmentQueues>>,
     /// Idle flags used by the work-stealing termination protocol.
     pub idle: Vec<AtomicBool>,
+    /// Machines still executing this segment. Completed machines linger,
+    /// absorbing their inbox, until this reaches zero — so a producer blocked
+    /// on a bounded inbox is always eventually drained.
+    pub remaining: AtomicUsize,
+    /// Set when any machine fails (or panics) during this segment: peers
+    /// blocked on backpressure, stealing, or the end-of-segment linger bail
+    /// out instead of waiting for a machine that will never drain them.
+    pub aborted: AtomicBool,
+}
+
+impl SharedSegmentState {
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+}
+
+/// Sets the segment's abort flag if the holder unwinds (a panicking machine
+/// must not leave its peers lingering on the `remaining` barrier forever;
+/// peers poll the flag on their park timeout).
+struct AbortOnPanic<'a>(&'a SharedSegmentState);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.abort();
+        }
+    }
+}
+
+/// The input feeding a segment's operator chain.
+enum ChainSource {
+    /// A join segment's `PUSH-JOIN`, polled lazily partition by partition
+    /// (boxed: the joiner's partition buffers dwarf the scan cursor).
+    Join(Box<PushJoin>),
+    /// A scan segment's (stealable) cursor.
+    Scan(ScanSource),
+}
+
+impl ChainSource {
+    fn has_more(&self) -> bool {
+        match self {
+            ChainSource::Scan(s) => s.has_more(),
+            ChainSource::Join(j) => j.has_more(),
+        }
+    }
+
+    fn poll(&mut self, ctx: &OpContext<'_>) -> Result<Option<RowBatch>> {
+        let poll = match self {
+            ChainSource::Scan(s) => s.poll_next(ctx)?,
+            ChainSource::Join(j) => j.poll_next(ctx)?,
+        };
+        Ok(match poll {
+            OpPoll::Ready(batch) => Some(batch),
+            OpPoll::Pending | OpPoll::Exhausted => None,
+        })
+    }
 }
 
 /// The state a machine carries across segments of one run.
@@ -76,7 +147,8 @@ pub struct MachineState {
     pub router: RouterEndpoint,
     /// Pulling fabric.
     pub rpc: RpcFabric,
-    /// Intra-machine worker pool.
+    /// Intra-machine worker pool (persistent: workers are spawned once and
+    /// reused across every operator invocation and segment).
     pub pool: WorkerPool,
     /// Memory tracker for intermediate results.
     pub memory: Arc<MemoryTracker>,
@@ -96,8 +168,13 @@ pub struct MachineState {
     pub compute_time: Duration,
     /// Batches obtained through inter-machine stealing.
     pub batches_stolen: u64,
-    /// Router envelopes received that belong to a later join segment.
-    pending_envelopes: Vec<PushEnvelope>,
+    /// Pre-instantiated joiners for every `PUSH-JOIN` segment of the current
+    /// run, keyed by the join segment's id. Shuffled inputs stream into them
+    /// as they arrive (replacing the old consumer-side envelope stash).
+    pending_joins: HashMap<usize, PushJoin>,
+    /// Routing table for inbound envelopes: producing segment id → (join
+    /// segment id, side of the join it feeds).
+    join_feeds: HashMap<usize, (usize, JoinSide)>,
 }
 
 impl MachineState {
@@ -131,7 +208,39 @@ impl MachineState {
             fetch_time: Duration::ZERO,
             compute_time: Duration::ZERO,
             batches_stolen: 0,
-            pending_envelopes: Vec::new(),
+            pending_joins: HashMap::new(),
+            join_feeds: HashMap::new(),
+        }
+    }
+
+    /// Prepares a run: instantiates one [`PushJoin`] per join segment and
+    /// the envelope routing table, so inbound shuffle data can be absorbed
+    /// the moment it arrives — during the *producing* segment.
+    pub fn prepare_run(&mut self, plans: &[SegmentPlan]) {
+        self.pending_joins.clear();
+        self.join_feeds.clear();
+        for plan in plans {
+            if let SegmentSource::Join(op) = &plan.segment.source {
+                let (left_arity, right_arity) = plan
+                    .producer_arities
+                    .expect("join segments carry their producers' arities");
+                self.join_feeds
+                    .insert(op.left, (plan.segment.id, JoinSide::Left));
+                self.join_feeds
+                    .insert(op.right, (plan.segment.id, JoinSide::Right));
+                self.pending_joins.insert(
+                    plan.segment.id,
+                    PushJoin::new(
+                        op.clone(),
+                        left_arity,
+                        right_arity,
+                        self.config.join_buffer_bytes,
+                        self.spill_dir.join(format!("seg-{}", plan.segment.id)),
+                        MemoryTrackerHandle::Tracked(Arc::clone(&self.memory)),
+                        self.config.batch_size,
+                    ),
+                );
+            }
         }
     }
 
@@ -160,12 +269,103 @@ impl MachineState {
         }
     }
 
-    /// Runs one segment to completion (own work, then stolen work).
+    /// Moves every queued inbound envelope into the joiner it feeds. This is
+    /// the consumer half of the streaming shuffle: it runs opportunistically
+    /// during chain execution, while waiting for space on a full destination
+    /// inbox, and while lingering at the end of a segment.
+    fn absorb_inbox(&mut self) -> Result<()> {
+        while let Some(env) = self.router.try_recv() {
+            let &(join_id, side) = self.join_feeds.get(&env.segment).ok_or_else(|| {
+                EngineError::Config(format!(
+                    "machine {} received an envelope for unknown segment {}",
+                    self.machine, env.segment
+                ))
+            })?;
+            let join = self.pending_joins.get_mut(&join_id).ok_or_else(|| {
+                EngineError::Config(format!(
+                    "machine {} received input for already-finished join segment {join_id}",
+                    self.machine
+                ))
+            })?;
+            join.push_side(side, &env.batch)?;
+        }
+        Ok(())
+    }
+
+    /// Pushes one shuffle batch with backpressure: while the destination
+    /// inbox is full, absorb the own inbox (so peers blocked on *us* make
+    /// progress — this is what keeps the cooperative protocol deadlock-free)
+    /// and park briefly for space. Bails out when a peer aborted the
+    /// segment (a failed machine will never drain its inbox).
+    fn push_with_backpressure(
+        &mut self,
+        dest: MachineId,
+        segment: usize,
+        batch: RowBatch,
+        shared: &SharedSegmentState,
+    ) -> Result<()> {
+        let mut pending = batch;
+        loop {
+            match self.router.try_push(dest, segment, pending) {
+                Ok(()) => return Ok(()),
+                Err(back) => {
+                    if shared.is_aborted() {
+                        return Err(EngineError::Config(
+                            "segment aborted by a failed peer machine".into(),
+                        ));
+                    }
+                    pending = back;
+                    self.absorb_inbox()?;
+                    self.router.wait_space(dest, PARK_TIMEOUT);
+                }
+            }
+        }
+    }
+
+    /// Runs one segment to completion (own work, then stolen work, then a
+    /// lingering absorb until every machine has finished the segment).
     ///
-    /// The segment's operators are instantiated once as
-    /// [`BatchOperator`]s from the shared execution substrate and driven by
-    /// the BFS/DFS-adaptive scheduler below.
+    /// Whatever the outcome, this machine's slot on the segment barrier is
+    /// released — an erroring (or panicking) machine flags the segment as
+    /// aborted so its peers bail out of backpressure, stealing and linger
+    /// loops instead of waiting for it forever.
     pub fn run_segment(
+        &mut self,
+        plan: &SegmentPlan,
+        shared: &SharedSegmentState,
+        sink: SinkMode,
+    ) -> Result<()> {
+        let panic_guard = AbortOnPanic(shared);
+        let result = self.run_segment_inner(plan, shared, sink);
+        if result.is_err() {
+            shared.abort();
+        }
+        // Release our barrier slot and nudge parked peers to re-check it.
+        shared.remaining.fetch_sub(1, Ordering::SeqCst);
+        for m in 0..self.router.num_machines() {
+            self.router.wake(m);
+        }
+        // Linger: keep absorbing the inbox until every machine is done with
+        // this segment, so producers blocked on our bounded inbox always
+        // drain. The machine parks on the router between sweeps.
+        let linger = (|| -> Result<()> {
+            while shared.remaining.load(Ordering::SeqCst) > 0 && !shared.is_aborted() {
+                self.absorb_inbox()?;
+                self.router.wait_data(PARK_TIMEOUT);
+            }
+            self.absorb_inbox()
+        })();
+        if linger.is_err() {
+            shared.abort();
+        }
+        drop(panic_guard);
+        result.and(linger)
+    }
+
+    /// The fallible body of [`MachineState::run_segment`]: instantiates the
+    /// segment's operators from the shared execution substrate and drives
+    /// them with the BFS/DFS-adaptive scheduler below.
+    fn run_segment_inner(
         &mut self,
         plan: &SegmentPlan,
         shared: &SharedSegmentState,
@@ -178,62 +378,37 @@ impl MachineState {
             .iter()
             .map(|op| PullExtend::new(op.clone()))
             .collect();
-        match &plan.segment.source {
-            SegmentSource::Scan(scan) => {
-                let mut source =
-                    ScanSource::new(scan.clone(), shared.scan_pools[self.machine].clone());
-                self.run_chain(Some(&mut source), &mut extends, plan, shared, sink)?;
-                if self.config.inter_machine_stealing {
-                    self.steal_loop(Some(&mut source), &mut extends, plan, shared, sink)?;
-                }
+        // Count-only fast path: when the root segment merely counts matches,
+        // the final extension's output column never needs materialising.
+        let count_only = matches!(plan.terminal, Terminal::Sink)
+            && sink == SinkMode::Count
+            && !extends.is_empty();
+        if count_only {
+            extends.last_mut().expect("non-empty").set_count_only(true);
+        }
+        let mut source = match &plan.segment.source {
+            SegmentSource::Scan(scan) => ChainSource::Scan(ScanSource::new(
+                scan.clone(),
+                shared.scan_pools[self.machine].clone(),
+            )),
+            SegmentSource::Join(_) => {
+                // Producers completed in earlier segments (and their final
+                // envelopes may still sit in the inbox): absorb, then seal.
+                self.absorb_inbox()?;
+                let mut join = self.pending_joins.remove(&plan.segment.id).ok_or_else(|| {
+                    EngineError::Config(format!(
+                        "join segment {} was not prepared",
+                        plan.segment.id
+                    ))
+                })?;
+                let ctx = self.op_context();
+                join.finish_input(&ctx)?;
+                ChainSource::Join(Box::new(join))
             }
-            SegmentSource::Join(join_op) => {
-                // Gather this machine's share of both inputs from the router.
-                let (left_arity, right_arity) = plan
-                    .producer_arities
-                    .expect("join segments carry their producers' arities");
-                let mut join = PushJoin::new(
-                    join_op.clone(),
-                    left_arity,
-                    right_arity,
-                    self.config.join_buffer_bytes,
-                    self.spill_dir.clone(),
-                    MemoryTrackerHandle::Tracked(Arc::clone(&self.memory)),
-                    self.config.batch_size,
-                );
-                let mut stashed = std::mem::take(&mut self.pending_envelopes);
-                stashed.extend(self.router.drain());
-                for env in stashed {
-                    if env.segment == join_op.left {
-                        join.push_side(JoinSide::Left, &env.batch)?;
-                    } else if env.segment == join_op.right {
-                        join.push_side(JoinSide::Right, &env.batch)?;
-                    } else {
-                        self.pending_envelopes.push(env);
-                    }
-                }
-                // Produce the join output through the rest of the chain,
-                // draining downstream operators whenever the source queue
-                // fills so memory stays bounded.
-                let queues = Arc::clone(&shared.queues[self.machine]);
-                let mut drain_error: Option<crate::EngineError> = None;
-                {
-                    let this = &mut *self;
-                    let extends = &mut extends;
-                    join.finish_into(|batch| {
-                        queues.queue(0).push(batch);
-                        if queues.queue(0).is_full() && drain_error.is_none() {
-                            if let Err(e) = this.run_chain(None, extends, plan, shared, sink) {
-                                drain_error = Some(e);
-                            }
-                        }
-                    })?;
-                }
-                if let Some(e) = drain_error {
-                    return Err(e);
-                }
-                self.run_chain(None, &mut extends, plan, shared, sink)?;
-            }
+        };
+        self.run_chain(&mut source, &mut extends, plan, shared, sink)?;
+        if matches!(source, ChainSource::Scan(_)) && self.config.inter_machine_stealing {
+            self.steal_loop(&mut source, &mut extends, plan, shared, sink)?;
         }
         for ext in &mut extends {
             let (fetch, busy) = ext.take_timings();
@@ -243,16 +418,17 @@ impl MachineState {
                     self.worker_busy[w] += *d;
                 }
             }
+            self.matches += ext.take_count();
         }
         self.compute_time += start.elapsed();
         Ok(())
     }
 
     /// The BFS/DFS-adaptive scheduling loop (Algorithm 5) over this
-    /// segment's operator chain: source (optional scan), extends, terminal.
+    /// segment's operator chain: source (scan or join), extends, terminal.
     fn run_chain(
         &mut self,
-        mut source: Option<&mut ScanSource>,
+        source: &mut ChainSource,
         extends: &mut [PullExtend],
         plan: &SegmentPlan,
         shared: &SharedSegmentState,
@@ -265,8 +441,13 @@ impl MachineState {
         let terminal_idx = num_extends + 1;
         let mut current = 0usize;
         loop {
+            // Keep the streaming shuffle flowing: route anything that peers
+            // pushed at us into its pending joiner before scheduling.
+            if self.router.has_data() {
+                self.absorb_inbox()?;
+            }
             let has_input = match current {
-                0 => source.as_ref().map(|c| c.has_more()).unwrap_or(false),
+                0 => source.has_more(),
                 i if i == terminal_idx => !queues.queue(num_extends).is_empty(),
                 i => !queues.queue(i - 1).is_empty(),
             };
@@ -282,7 +463,7 @@ impl MachineState {
                 // Backtrack only while some upstream operator still has work;
                 // otherwise keep moving towards the terminal (and stop at the
                 // terminal once the whole chain has drained).
-                let upstream_has_work = source.as_ref().map(|c| c.has_more()).unwrap_or(false)
+                let upstream_has_work = source.has_more()
                     || (0..current.saturating_sub(1)).any(|i| !queues.queue(i).is_empty());
                 if upstream_has_work {
                     current -= 1;
@@ -295,7 +476,7 @@ impl MachineState {
             }
             if current == terminal_idx {
                 while let Some(batch) = queues.queue(num_extends).pop() {
-                    self.consume_terminal(plan, &batch, sink);
+                    self.consume_terminal(plan, &batch, sink, shared)?;
                 }
                 current -= 1;
                 continue;
@@ -305,13 +486,7 @@ impl MachineState {
             loop {
                 let produced: Option<RowBatch> = if current == 0 {
                     let ctx = self.op_context();
-                    match source.as_mut() {
-                        Some(s) => match s.poll_next(&ctx)? {
-                            OpPoll::Ready(batch) => Some(batch),
-                            OpPoll::Pending | OpPoll::Exhausted => None,
-                        },
-                        None => None,
-                    }
+                    source.poll(&ctx)?
                 } else {
                     match queues.queue(current - 1).pop() {
                         Some(input) => {
@@ -341,7 +516,13 @@ impl MachineState {
     }
 
     /// Consumes one fully-extended batch at the terminal.
-    fn consume_terminal(&mut self, plan: &SegmentPlan, batch: &RowBatch, sink: SinkMode) {
+    fn consume_terminal(
+        &mut self,
+        plan: &SegmentPlan,
+        batch: &RowBatch,
+        sink: SinkMode,
+        shared: &SharedSegmentState,
+    ) -> Result<()> {
         match &plan.terminal {
             Terminal::Sink => {
                 self.matches += batch.len() as u64;
@@ -366,18 +547,21 @@ impl MachineState {
                     .into_iter()
                     .enumerate()
                 {
-                    self.router.push(dest, plan.segment.id, out);
+                    self.push_with_backpressure(dest, plan.segment.id, out, shared)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Inter-machine work stealing: once the own work is exhausted, steal
     /// scan chunks or queued batches from other machines until every machine
-    /// is idle (§5.3).
+    /// is idle (§5.3). While there is nothing to steal the machine *parks*
+    /// on its router inbox (absorbing any arriving shuffle data) instead of
+    /// busy-spinning.
     fn steal_loop(
         &mut self,
-        mut source: Option<&mut ScanSource>,
+        source: &mut ChainSource,
         extends: &mut [PullExtend],
         plan: &SegmentPlan,
         shared: &SharedSegmentState,
@@ -407,17 +591,17 @@ impl MachineState {
                 }
                 // Otherwise steal buffered batches from the victim's queues,
                 // upstream-most first (they carry the most remaining work).
+                // `steal_into` transfers the memory accounting with the
+                // batches, so cluster-wide `current()` stays conserved.
                 for op in 0..shared.queues[victim].len() {
-                    let batches = shared.queues[victim].queue(op).steal_half();
-                    if batches.is_empty() {
+                    let (batches, bytes) = shared.queues[victim]
+                        .queue(op)
+                        .steal_into(shared.queues[self.machine].queue(op));
+                    if batches == 0 {
                         continue;
                     }
-                    let bytes: u64 = batches.iter().map(|b| b.byte_size()).sum();
                     self.rpc.record_steal(self.machine, bytes);
-                    self.batches_stolen += batches.len() as u64;
-                    for b in batches {
-                        shared.queues[self.machine].queue(op).push(b);
-                    }
+                    self.batches_stolen += batches;
                     stolen_any = true;
                     break;
                 }
@@ -427,14 +611,17 @@ impl MachineState {
             }
             if stolen_any {
                 shared.idle[self.machine].store(false, Ordering::SeqCst);
-                self.run_chain(source.as_deref_mut(), extends, plan, shared, sink)?;
+                self.run_chain(source, extends, plan, shared, sink)?;
                 continue;
             }
-            // Nothing to steal: finish once every machine is idle.
-            if shared.idle.iter().all(|f| f.load(Ordering::SeqCst)) {
+            // Nothing to steal: finish once every machine is idle (or a
+            // failed peer aborted the segment — it will never go idle);
+            // until then park on the inbox (waking for data to absorb).
+            if shared.idle.iter().all(|f| f.load(Ordering::SeqCst)) || shared.is_aborted() {
                 break;
             }
-            std::thread::yield_now();
+            self.absorb_inbox()?;
+            self.router.wait_data(PARK_TIMEOUT);
         }
         Ok(())
     }

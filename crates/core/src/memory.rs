@@ -47,6 +47,17 @@ impl MemoryTracker {
     }
 }
 
+/// Router inboxes charge their queued bytes to the owning machine's tracker,
+/// so shuffle data in flight counts towards the paper's `M` column.
+impl huge_comm::QueueAccounting for MemoryTracker {
+    fn allocate(&self, bytes: u64) {
+        MemoryTracker::allocate(self, bytes);
+    }
+    fn release(&self, bytes: u64) {
+        MemoryTracker::release(self, bytes);
+    }
+}
+
 /// Shared handles to every machine's tracker.
 #[derive(Clone, Debug)]
 pub struct ClusterMemory {

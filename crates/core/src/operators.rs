@@ -121,6 +121,11 @@ impl ScanCursor {
 
     /// Produces the next batch of at most `ctx.batch_size` rows, or `None`
     /// when the scan is exhausted.
+    ///
+    /// The expansion of a chunk's vertices into edge rows runs on the
+    /// machine's persistent worker pool (split into per-worker ranges), so
+    /// the scan path exercises the same `submit`/`join_epoch` substrate as
+    /// `PULL-EXTEND`.
     pub fn next_batch(&mut self, ctx: &OpContext<'_>) -> Option<RowBatch> {
         let target_rows = ctx.batch_size;
         let mut batch = RowBatch::with_capacity(2, target_rows.min(64 * 1024));
@@ -144,22 +149,32 @@ impl ScanCursor {
             } else {
                 ctx.rpc.get_nbrs(ctx.machine, &remote).into_iter().collect()
             };
-            for &u in &chunk {
-                let neighbours: &[VertexId] = if ctx.partition.is_local(u) {
-                    ctx.partition.local_neighbours(u)
-                } else {
-                    remote_lists.get(&u).map(|v| v.as_slice()).unwrap_or(&[])
-                };
-                for &v in neighbours {
-                    let row = [u, v];
-                    if !passes_filters(&row, &self.op.filters) {
-                        continue;
-                    }
-                    if batch.len() < target_rows {
-                        batch.push_row(&row);
+            let per = (chunk.len() / (ctx.pool.workers() * 2).max(1)).max(64);
+            let slices: Vec<&[VertexId]> = chunk.chunks(per).collect();
+            let filters = &self.op.filters;
+            let remote_lists = &remote_lists;
+            let run = ctx.pool.run(slices, |vertices, out: &mut Vec<VertexId>| {
+                for &u in vertices {
+                    let neighbours: &[VertexId] = if ctx.partition.is_local(u) {
+                        ctx.partition.local_neighbours(u)
                     } else {
-                        self.pending.push(u);
-                        self.pending.push(v);
+                        remote_lists.get(&u).map(|v| v.as_slice()).unwrap_or(&[])
+                    };
+                    for &v in neighbours {
+                        if passes_filters(&[u, v], filters) {
+                            out.push(u);
+                            out.push(v);
+                        }
+                    }
+                }
+            });
+            for flat in run.outputs {
+                for pair in flat.chunks_exact(2) {
+                    if batch.len() < target_rows {
+                        batch.push_row(pair);
+                    } else {
+                        self.pending.push(pair[0]);
+                        self.pending.push(pair[1]);
                     }
                 }
             }
@@ -186,15 +201,26 @@ pub struct ExtendOutput {
     pub fetch_time: Duration,
 }
 
-/// Runs the two-stage `PULL-EXTEND` (Algorithm 4) over one input batch.
-pub fn run_extend(op: &ExtendOp, input: &RowBatch, ctx: &OpContext<'_>) -> ExtendOutput {
-    let out_arity = if op.verify_position.is_some() {
-        input.arity()
-    } else {
-        input.arity() + 1
-    };
+/// The result of counting a `PULL-EXTEND` over one input batch without
+/// materialising the extended rows.
+pub struct ExtendCountOutput {
+    /// Number of rows the extension would have produced.
+    pub count: u64,
+    /// Busy time of each intra-machine worker during the intersect stage.
+    pub worker_busy: Vec<Duration>,
+    /// Time spent in the fetch stage (RPCs + cache writes + sealing).
+    pub fetch_time: Duration,
+}
 
-    // ---------------- fetch stage ----------------
+/// The fetch stage of Algorithm 4: pulls (or seals in the cache) every
+/// remote adjacency list the batch's extend positions reference. Returns the
+/// per-batch side table (used when the cache is disabled) and the stage
+/// duration.
+fn fetch_stage(
+    op: &ExtendOp,
+    input: &RowBatch,
+    ctx: &OpContext<'_>,
+) -> (HashMap<VertexId, Vec<VertexId>>, Duration) {
     let fetch_start = Instant::now();
     // Collect the distinct remote vertices referenced by the extend index.
     let mut remote: Vec<VertexId> = Vec::new();
@@ -229,17 +255,29 @@ pub fn run_extend(op: &ExtendOp, input: &RowBatch, ctx: &OpContext<'_>) -> Exten
     } else if !remote.is_empty() {
         batch_table = ctx.rpc.get_nbrs(ctx.machine, &remote).into_iter().collect();
     }
-    let fetch_time = fetch_start.elapsed();
+    (batch_table, fetch_start.elapsed())
+}
 
-    // ---------------- intersect stage ----------------
-    // Split the batch into row-range work items for the worker pool.
-    let rows = input.len();
+/// Splits `rows` into row-range work items for the worker pool.
+fn intersect_ranges(rows: usize, ctx: &OpContext<'_>) -> Vec<(usize, usize)> {
     let chunk_rows = (rows / (ctx.pool.workers() * 4).max(1)).max(256);
-    let ranges: Vec<(usize, usize)> = (0..rows)
+    (0..rows)
         .step_by(chunk_rows)
         .map(|start| (start, (start + chunk_rows).min(rows)))
-        .collect();
+        .collect()
+}
 
+/// Runs the two-stage `PULL-EXTEND` (Algorithm 4) over one input batch.
+pub fn run_extend(op: &ExtendOp, input: &RowBatch, ctx: &OpContext<'_>) -> ExtendOutput {
+    let out_arity = if op.verify_position.is_some() {
+        input.arity()
+    } else {
+        input.arity() + 1
+    };
+    let (batch_table, fetch_time) = fetch_stage(op, input, ctx);
+
+    // ---------------- intersect stage ----------------
+    let ranges = intersect_ranges(input.len(), ctx);
     let batch_table = &batch_table;
     let run = ctx
         .pool
@@ -247,7 +285,14 @@ pub fn run_extend(op: &ExtendOp, input: &RowBatch, ctx: &OpContext<'_>) -> Exten
             let mut scratch: Vec<VertexId> = Vec::new();
             for i in start..end {
                 let row = input.row(i);
-                extend_one_row(op, row, ctx, batch_table, &mut scratch, out);
+                extend_one_row(
+                    op,
+                    row,
+                    ctx,
+                    batch_table,
+                    &mut scratch,
+                    &mut ExtendSink::Materialise(out),
+                );
             }
         });
 
@@ -269,15 +314,75 @@ pub fn run_extend(op: &ExtendOp, input: &RowBatch, ctx: &OpContext<'_>) -> Exten
     }
 }
 
-/// Extends (or verifies) a single row, appending the resulting flat rows to
-/// `out`.
+/// Runs the two-stage `PULL-EXTEND` over one input batch, *counting* the
+/// extensions instead of materialising them — the count-only sink fast path:
+/// the final output column (and the batch allocation behind it) is skipped
+/// entirely.
+pub fn run_extend_count(op: &ExtendOp, input: &RowBatch, ctx: &OpContext<'_>) -> ExtendCountOutput {
+    let (batch_table, fetch_time) = fetch_stage(op, input, ctx);
+    let ranges = intersect_ranges(input.len(), ctx);
+    let batch_table = &batch_table;
+    let run = ctx.pool.run(ranges, |(start, end), out: &mut Vec<u64>| {
+        let mut scratch: Vec<VertexId> = Vec::new();
+        let mut count = 0u64;
+        for i in start..end {
+            let row = input.row(i);
+            extend_one_row(
+                op,
+                row,
+                ctx,
+                batch_table,
+                &mut scratch,
+                &mut ExtendSink::Count(&mut count),
+            );
+        }
+        out.push(count);
+    });
+    if ctx.use_cache {
+        ctx.cache.release();
+    }
+    ExtendCountOutput {
+        count: run.outputs.iter().flatten().sum(),
+        worker_busy: run.busy,
+        fetch_time,
+    }
+}
+
+/// Where an extension's results go: materialised flat rows, or a counter.
+enum ExtendSink<'a> {
+    Materialise(&'a mut Vec<VertexId>),
+    Count(&'a mut u64),
+}
+
+impl ExtendSink<'_> {
+    #[inline]
+    fn emit_verified(&mut self, row: &[VertexId]) {
+        match self {
+            ExtendSink::Materialise(out) => out.extend_from_slice(row),
+            ExtendSink::Count(count) => **count += 1,
+        }
+    }
+
+    #[inline]
+    fn emit_extended(&mut self, row: &[VertexId], candidate: VertexId) {
+        match self {
+            ExtendSink::Materialise(out) => {
+                out.extend_from_slice(row);
+                out.push(candidate);
+            }
+            ExtendSink::Count(count) => **count += 1,
+        }
+    }
+}
+
+/// Extends (or verifies) a single row, feeding the results to `sink`.
 fn extend_one_row(
     op: &ExtendOp,
     row: &[VertexId],
     ctx: &OpContext<'_>,
     batch_table: &HashMap<VertexId, Vec<VertexId>>,
     scratch: &mut Vec<VertexId>,
-    out: &mut Vec<VertexId>,
+    sink: &mut ExtendSink<'_>,
 ) {
     // Verify mode: check that the already-bound vertex is adjacent to every
     // extend position (no intersection needs materialising).
@@ -291,7 +396,7 @@ fn extend_one_row(
             .unwrap_or(false)
         });
         if ok && passes_filters(row, &op.filters) {
-            out.extend_from_slice(row);
+            sink.emit_verified(row);
         }
         return;
     }
@@ -338,8 +443,7 @@ fn extend_one_row(
             smaller < larger
         });
         if ok {
-            out.extend_from_slice(row);
-            out.push(candidate);
+            sink.emit_extended(row, candidate);
         }
     }
 }

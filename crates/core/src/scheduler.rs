@@ -92,23 +92,39 @@ impl SharedQueue {
         batch
     }
 
-    /// Steals up to half of the queued batches (from the back), releasing
-    /// their memory accounting from this machine. The thief re-registers the
-    /// batches against its own queues.
-    pub fn steal_half(&self) -> Vec<RowBatch> {
-        let mut guard = self.batches.lock();
-        let take = guard.len() / 2;
-        let mut stolen = Vec::with_capacity(take);
-        for _ in 0..take {
-            if let Some(b) = guard.pop_back() {
-                self.rows.fetch_sub(b.len(), Ordering::Relaxed);
-                if let Some(m) = &self.memory {
-                    m.release(b.byte_size());
+    /// Steals up to half of the queued batches (from the back) directly into
+    /// `dest`, transferring the memory accounting with them: each batch is
+    /// registered against the destination's tracker *before* it is released
+    /// from this queue's, so the cluster-wide sum of `current()` never
+    /// undercounts the data actually held mid-steal. Returns the number of
+    /// batches and bytes moved.
+    pub fn steal_into(&self, dest: &SharedQueue) -> (u64, u64) {
+        let stolen = {
+            let mut guard = self.batches.lock();
+            let take = guard.len() / 2;
+            let mut stolen = Vec::with_capacity(take);
+            for _ in 0..take {
+                if let Some(b) = guard.pop_back() {
+                    self.rows.fetch_sub(b.len(), Ordering::Relaxed);
+                    stolen.push(b);
                 }
-                stolen.push(b);
+            }
+            stolen
+        };
+        let mut batches = 0u64;
+        let mut bytes = 0u64;
+        for b in stolen {
+            let size = b.byte_size();
+            batches += 1;
+            bytes += size;
+            // `push` allocates against the destination's tracker; only then
+            // release the hand-off from ours.
+            dest.push(b);
+            if let Some(m) = &self.memory {
+                m.release(size);
             }
         }
-        stolen
+        (batches, bytes)
     }
 }
 
@@ -208,17 +224,38 @@ mod tests {
     }
 
     #[test]
-    fn steal_half_takes_from_the_back() {
+    fn steal_into_takes_from_the_back() {
         let q = SharedQueue::new(1000, None);
         for i in 1..=4 {
             q.push(batch(i));
         }
-        let stolen = q.steal_half();
-        assert_eq!(stolen.len(), 2);
+        let dest = SharedQueue::new(1000, None);
+        let (batches, bytes) = q.steal_into(&dest);
+        assert_eq!(batches, 2);
+        assert_eq!(bytes, (4 + 3) * 4);
         // The back batches (largest in this construction) are stolen.
-        assert_eq!(stolen[0].len(), 4);
-        assert_eq!(stolen[1].len(), 3);
+        assert_eq!(dest.pop().unwrap().len(), 4);
+        assert_eq!(dest.pop().unwrap().len(), 3);
         assert_eq!(q.rows(), 1 + 2);
+    }
+
+    #[test]
+    fn steal_into_conserves_memory_accounting() {
+        let victim_tracker = Arc::new(MemoryTracker::new());
+        let thief_tracker = Arc::new(MemoryTracker::new());
+        let victim = SharedQueue::new(1000, Some(Arc::clone(&victim_tracker)));
+        let thief = SharedQueue::new(1000, Some(Arc::clone(&thief_tracker)));
+        for i in 1..=8 {
+            victim.push(batch(i));
+        }
+        let before = victim_tracker.current() + thief_tracker.current();
+        victim.steal_into(&thief);
+        // Every stolen byte moved from the victim's tracker to the thief's.
+        assert_eq!(victim_tracker.current() + thief_tracker.current(), before);
+        assert!(thief_tracker.current() > 0);
+        while thief.pop().is_some() {}
+        while victim.pop().is_some() {}
+        assert_eq!(victim_tracker.current() + thief_tracker.current(), 0);
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Integration tests of the event-driven pipelined runtime: the persistent
+//! worker pool, the bounded notifying router, the streaming baseline
+//! shuffles, the count-only sink and the steal accounting hand-off.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use huge_baselines::exec::{hash_join_pushing, scan_star, BaselineCtx};
+use huge_baselines::Baseline;
+use huge_comm::stats::ClusterStats;
+use huge_comm::{Router, RowBatch};
+use huge_core::memory::MemoryTracker;
+use huge_core::pool::WorkerPool;
+use huge_core::scheduler::SharedQueue;
+use huge_core::{ClusterConfig, HugeCluster, LoadBalance, SinkMode};
+use huge_graph::{gen, Partitioner};
+use huge_query::{naive, Pattern};
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pool_survives_overlapping_epochs_from_many_threads() {
+    // Hammer one pool with concurrent `run` calls (each an epoch) from many
+    // threads; every item must be processed exactly once per run, and the
+    // pool must never spawn more than its configured worker threads.
+    let pool = WorkerPool::new(4, LoadBalance::WorkStealing);
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let pool = pool.clone();
+            scope.spawn(move || {
+                for _round in 0u64..30 {
+                    let items: Vec<u64> = (0..256).collect();
+                    let run = pool.run(items, |x, out| out.push(x * 2 + t));
+                    let mut flat = run.into_flat();
+                    flat.sort_unstable();
+                    assert_eq!(flat.len(), 256);
+                    assert_eq!(flat[0], t);
+                    assert_eq!(flat[255], 510 + t);
+                }
+            });
+        }
+    });
+    // Workers were created once and reused across all 240 overlapping runs.
+    assert_eq!(pool.threads_spawned(), 4);
+}
+
+#[test]
+fn pool_explicit_epochs_interleave() {
+    let pool = WorkerPool::new(3, LoadBalance::WorkStealing);
+    let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    // Interleave submissions to two epochs, then join them in reverse order.
+    let a = pool.begin_epoch();
+    let b = pool.begin_epoch();
+    for i in 0..50 {
+        let hits_a = Arc::clone(&hits);
+        pool.submit(&a, i, move |_| {
+            hits_a.fetch_add(1, Ordering::SeqCst);
+        });
+        let hits_b = Arc::clone(&hits);
+        pool.submit(&b, i + 1, move |_| {
+            hits_b.fetch_add(1000, Ordering::SeqCst);
+        });
+    }
+    pool.join_epoch(b);
+    pool.join_epoch(a);
+    assert_eq!(hits.load(Ordering::SeqCst), 50 + 50 * 1000);
+    assert_eq!(pool.threads_spawned(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded, notifying router
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bounded_router_backpressure_terminates_with_parked_consumer() {
+    // A tiny inbox (8 rows) and a producer shipping 200 batches of 4 rows:
+    // the producer must block on backpressure, the parked consumer must be
+    // woken by pushes, and the whole exchange must terminate.
+    const BATCHES: usize = 200;
+    let stats = ClusterStats::new(2);
+    let router = Router::with_capacity(2, stats, 8);
+    let producer = router.endpoint(0);
+    let consumer = router.endpoint(1);
+    let done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let done_consumer = Arc::clone(&done);
+        let consume = scope.spawn(move || {
+            let mut rows = 0usize;
+            while !done_consumer.load(Ordering::SeqCst) || consumer.has_data() {
+                // Park on the notify handle instead of spinning.
+                if consumer.wait_data(Duration::from_millis(20)) {
+                    while let Some(env) = consumer.try_recv() {
+                        rows += env.batch.len();
+                    }
+                }
+            }
+            rows
+        });
+        for i in 0..BATCHES {
+            // Blocking push: waits for space when the inbox is full.
+            producer.push(1, 3, RowBatch::from_flat(1, vec![i as u32; 4]));
+        }
+        done.store(true, Ordering::SeqCst);
+        producer.wake(1);
+        assert_eq!(consume.join().unwrap(), BATCHES * 4);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Steal accounting
+// ---------------------------------------------------------------------------
+
+#[test]
+fn steal_hand_off_conserves_cluster_wide_memory_accounting() {
+    // Concurrent thieves move batches between queues while consumers pop:
+    // at every quiescent point the sum of the trackers' `current()` must
+    // equal the bytes actually enqueued, and it must never undercount while
+    // steals are in flight (the thief registers before the victim releases).
+    let trackers: Vec<Arc<MemoryTracker>> =
+        (0..2).map(|_| Arc::new(MemoryTracker::new())).collect();
+    let victim = SharedQueue::new(usize::MAX / 2, Some(Arc::clone(&trackers[0])));
+    let thief = SharedQueue::new(usize::MAX / 2, Some(Arc::clone(&trackers[1])));
+    let mut total_bytes = 0u64;
+    for i in 0..256 {
+        let batch = RowBatch::from_flat(1, vec![i as u32; (i % 7) + 1]);
+        total_bytes += batch.byte_size();
+        victim.push(batch);
+    }
+    std::thread::scope(|scope| {
+        let stealing = scope.spawn(|| {
+            for _ in 0..64 {
+                victim.steal_into(&thief);
+                thief.steal_into(&victim);
+            }
+        });
+        // While steals are in flight, the cluster-wide sum may transiently
+        // double-count the one batch mid-hand-off (at most 28 bytes here)
+        // but must never undercount the bytes actually held.
+        for _ in 0..1000 {
+            let sum: u64 = trackers.iter().map(|t| t.current()).sum();
+            assert!(sum >= total_bytes, "undercounted: {sum} < {total_bytes}");
+            assert!(sum <= total_bytes + 32, "overcounted: {sum}");
+        }
+        stealing.join().unwrap();
+    });
+    // Quiescent: conservation must be exact.
+    let sum: u64 = trackers.iter().map(|t| t.current()).sum();
+    assert_eq!(sum, total_bytes);
+    // Draining both queues returns every tracker to zero.
+    while victim.pop().is_some() {}
+    while thief.pop().is_some() {}
+    assert_eq!(trackers[0].current() + trackers[1].current(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming baseline shuffle: bounded memory
+// ---------------------------------------------------------------------------
+
+#[test]
+fn baseline_join_streams_instead_of_double_buffering() {
+    // A join whose shuffled inputs far exceed the router capacity: with the
+    // streaming shuffle (bounded inboxes + spilling joiners) the tracked
+    // transient peak must stay below what materialising both shuffled tables
+    // at once would need — the pre-streaming behaviour.
+    let graph = gen::barabasi_albert(600, 10, 3);
+    let query = Pattern::Square.query_graph();
+    let partitions = Arc::new(Partitioner::new(3).unwrap().partition(graph.clone()));
+    // 2048-row inboxes, 64 KiB spill threshold per joiner side.
+    let mut ctx = BaselineCtx::with_streaming_limits(partitions, &query, 2_048, 64 * 1024);
+    let left = scan_star(&mut ctx, 0, &[1, 3]).unwrap();
+    let right = scan_star(&mut ctx, 2, &[1, 3]).unwrap();
+    let shuffled_bytes = left.total_bytes() + right.total_bytes();
+    let joined = hash_join_pushing(&mut ctx, &left, &right).unwrap();
+    assert_eq!(joined.total_rows(), naive::enumerate(&graph, &query));
+    assert!(
+        ctx.memory.peak() < shuffled_bytes,
+        "streaming shuffle peak {} must stay below full materialisation {}",
+        ctx.memory.peak(),
+        shuffled_bytes
+    );
+    // Everything transient was drained and released.
+    assert_eq!(ctx.memory.current(), 0);
+
+    // The degenerate all-local case (k = 1): every push goes to the own
+    // machine, which bypasses the inbox bound — the absorb-on-full path must
+    // still keep the shuffle from double-buffering the whole table.
+    let single = Arc::new(Partitioner::new(1).unwrap().partition(graph.clone()));
+    let mut ctx1 = BaselineCtx::with_streaming_limits(single, &query, 2_048, 64 * 1024);
+    let left1 = scan_star(&mut ctx1, 0, &[1, 3]).unwrap();
+    let right1 = scan_star(&mut ctx1, 2, &[1, 3]).unwrap();
+    let shuffled1 = left1.total_bytes() + right1.total_bytes();
+    let joined1 = hash_join_pushing(&mut ctx1, &left1, &right1).unwrap();
+    assert_eq!(joined1.total_rows(), naive::enumerate(&graph, &query));
+    assert!(
+        ctx1.memory.peak() < shuffled1,
+        "local-only streaming peak {} must stay below full materialisation {}",
+        ctx1.memory.peak(),
+        shuffled1
+    );
+    assert_eq!(ctx1.memory.current(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Count-only sink
+// ---------------------------------------------------------------------------
+
+#[test]
+fn count_only_sink_matches_collect_on_paths() {
+    let graph = gen::erdos_renyi(400, 2_400, 77);
+    let query = Pattern::Path(5).query_graph();
+    let expected = naive::enumerate(&graph, &query);
+    let cluster = HugeCluster::build(graph, ClusterConfig::new(2).workers(2)).unwrap();
+    let counted = cluster.run(&query, SinkMode::Count).unwrap();
+    let collected = cluster.run(&query, SinkMode::Collect(5)).unwrap();
+    assert_eq!(counted.matches, expected);
+    assert_eq!(collected.matches, expected);
+    assert!(!collected.sample_matches.is_empty());
+    // The count-only run never materialises the final extension column, so
+    // its peak intermediate memory cannot exceed the collecting run's.
+    assert!(counted.peak_memory_bytes <= collected.peak_memory_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-engine parity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn all_five_engines_agree_and_account_comparable_traffic() {
+    let graph = gen::erdos_renyi(150, 800, 9);
+    let config = ClusterConfig::new(3).workers(1);
+    for pattern in [Pattern::Triangle, Pattern::Square] {
+        let query = pattern.query_graph();
+        let expected = naive::enumerate(&graph, &query);
+        let huge = HugeCluster::build(graph.clone(), config.clone())
+            .unwrap()
+            .run(&query, SinkMode::Count)
+            .unwrap();
+        assert_eq!(huge.matches, expected, "HUGE on {pattern:?}");
+        let mut pushed = Vec::new();
+        for baseline in Baseline::ALL {
+            let report = baseline.run(&graph, &query, &config).unwrap();
+            assert_eq!(
+                report.matches,
+                expected,
+                "{} on {:?}",
+                baseline.name(),
+                pattern
+            );
+            pushed.push((baseline, report.comm.bytes_pushed));
+        }
+        // The pushing engines (StarJoin, SEED, BiGJoin) must report traffic
+        // through the shared accounted router; the pulling engines (BENU,
+        // RADS) must push nothing.
+        for (baseline, bytes) in pushed {
+            match baseline {
+                Baseline::StarJoin | Baseline::Seed | Baseline::BigJoin => {
+                    assert!(bytes > 0, "{} pushed no bytes", baseline.name())
+                }
+                Baseline::Benu | Baseline::Rads => {
+                    assert_eq!(bytes, 0, "{} should pull, not push", baseline.name())
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The machine loop parks (no spinning) and still terminates
+// ---------------------------------------------------------------------------
+
+#[test]
+fn push_join_plans_pipeline_through_the_bounded_router() {
+    // Force PUSH-JOIN segments with a small router inbox: the producing
+    // segments must stream their shuffles through backpressure into the
+    // pre-built joins and still count correctly.
+    let graph = gen::erdos_renyi(250, 1_200, 31);
+    let query = Pattern::Path(4).query_graph();
+    let expected = naive::enumerate(&graph, &query);
+    let cluster = HugeCluster::build(
+        graph,
+        ClusterConfig::new(3)
+            .workers(2)
+            .batch_size(256)
+            .router_queue_rows(512)
+            .join_buffer_bytes(8 * 1024),
+    )
+    .unwrap();
+    let plan = cluster
+        .plan_with_options(
+            &query,
+            huge_plan::optimizer::OptimizerOptions {
+                disable_pulling: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let dataflow = huge_plan::translate::translate(&plan).unwrap();
+    assert!(
+        dataflow.num_joins() >= 1,
+        "expected a PUSH-JOIN in the plan"
+    );
+    let report = cluster.run_with_plan(&plan, SinkMode::Count).unwrap();
+    assert_eq!(report.matches, expected);
+    assert!(report.comm.bytes_pushed > 0);
+}

@@ -1,11 +1,14 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! Provides the two facilities this workspace uses — MPMC channels
-//! ([`channel`]) and work-stealing deques ([`deque`]) — implemented over std
-//! primitives. The implementations favour simplicity (a mutex-protected
-//! `VecDeque`) over the lock-free algorithms of the real crate; the API and
-//! semantics (cloneable senders *and* receivers, LIFO owner pops with FIFO
-//! steals) are the same, so swapping the real crate back in is transparent.
+//! ([`channel`]) and work-stealing deques ([`deque`]). The channel is a
+//! condvar-protected `VecDeque` (simple, correct, and off the hot path); the
+//! deque is a real lock-free Chase–Lev deque with the memory-ordering
+//! recipe of Lê et al., "Correct and Efficient Work-Stealing for Weak Memory
+//! Models" (PPoPP '13) — the owner pushes and pops at the bottom without
+//! locks, thieves race on `top` with a single compare-exchange. The API and
+//! semantics (LIFO owner pops, FIFO steals, cloneable stealers) match the
+//! real crate, so swapping it back in is transparent.
 
 pub mod channel {
     //! Multi-producer multi-consumer FIFO channels.
@@ -153,11 +156,106 @@ pub mod channel {
 }
 
 pub mod deque {
-    //! Work-stealing deques: the owner pushes/pops one end, stealers take
-    //! from the other.
+    //! Lock-free Chase–Lev work-stealing deques.
+    //!
+    //! The owner ([`Worker`]) pushes and pops at the *bottom* of a growable
+    //! circular buffer; thieves ([`Stealer`]) take from the *top*. `top` and
+    //! `bottom` are monotonically increasing indices mapped into the buffer
+    //! modulo its (power-of-two) capacity. The only contended operation is
+    //! the compare-exchange on `top` — the owner's fast path touches no lock
+    //! and no CAS except when the deque holds a single element.
+    //!
+    //! Buffer growth never invalidates concurrent steals: old buffers are
+    //! retired to a side list and freed when the deque is dropped, and the
+    //! owner can only overwrite a slot after `bottom - top >= capacity`,
+    //! which triggers growth into a fresh buffer instead.
 
-    use std::collections::VecDeque;
+    use std::cell::Cell;
+    use std::marker::PhantomData;
+    use std::mem::{self, MaybeUninit};
+    use std::ptr;
+    use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
     use std::sync::{Arc, Mutex};
+
+    const MIN_CAPACITY: usize = 32;
+
+    struct Buffer<T> {
+        ptr: *mut MaybeUninit<T>,
+        cap: usize,
+    }
+
+    impl<T> Buffer<T> {
+        /// Allocates a buffer for `cap` (a power of two) slots.
+        fn alloc(cap: usize) -> *mut Buffer<T> {
+            debug_assert!(cap.is_power_of_two());
+            let mut slots: Vec<MaybeUninit<T>> = Vec::with_capacity(cap);
+            // SAFETY: `MaybeUninit` slots need no initialisation.
+            unsafe { slots.set_len(cap) };
+            let ptr = Box::into_raw(slots.into_boxed_slice()) as *mut MaybeUninit<T>;
+            Box::into_raw(Box::new(Buffer { ptr, cap }))
+        }
+
+        /// Frees the buffer *without* dropping any contained values.
+        ///
+        /// # Safety
+        /// `buf` must come from [`Buffer::alloc`] and not be freed twice.
+        unsafe fn dealloc(buf: *mut Buffer<T>) {
+            let b = Box::from_raw(buf);
+            drop(Box::from_raw(ptr::slice_from_raw_parts_mut(b.ptr, b.cap)));
+        }
+
+        /// Writes `value` into the slot for logical index `index`.
+        ///
+        /// # Safety
+        /// Owner-only, and the slot must be logically empty.
+        unsafe fn write(&self, index: isize, value: T) {
+            let slot = self.ptr.add((index as usize) & (self.cap - 1));
+            ptr::write(slot, MaybeUninit::new(value));
+        }
+
+        /// Reads the slot for logical index `index` (a bitwise copy).
+        ///
+        /// # Safety
+        /// The caller must ensure at most one reader logically *takes* the
+        /// value (losers of the `top` race must `mem::forget` their copy).
+        unsafe fn read(&self, index: isize) -> T {
+            let slot = self.ptr.add((index as usize) & (self.cap - 1));
+            ptr::read(slot).assume_init()
+        }
+    }
+
+    struct Inner<T> {
+        top: AtomicIsize,
+        bottom: AtomicIsize,
+        buffer: AtomicPtr<Buffer<T>>,
+        /// Buffers replaced by growth, freed when the deque is dropped so
+        /// that in-flight steals reading a stale buffer stay memory-safe.
+        retired: Mutex<Vec<*mut Buffer<T>>>,
+    }
+
+    // SAFETY: the Chase–Lev protocol serialises all accesses to each slot.
+    unsafe impl<T: Send> Send for Inner<T> {}
+    unsafe impl<T: Send> Sync for Inner<T> {}
+
+    impl<T> Drop for Inner<T> {
+        fn drop(&mut self) {
+            // Exclusive access: drop the remaining values, free all buffers.
+            let t = *self.top.get_mut();
+            let b = *self.bottom.get_mut();
+            let buf = *self.buffer.get_mut();
+            unsafe {
+                let mut i = t;
+                while i < b {
+                    drop((*buf).read(i));
+                    i += 1;
+                }
+                Buffer::dealloc(buf);
+                for old in self.retired.get_mut().unwrap().drain(..) {
+                    Buffer::dealloc(old);
+                }
+            }
+        }
+    }
 
     #[derive(Clone, Copy, PartialEq, Eq)]
     enum Flavor {
@@ -165,15 +263,18 @@ pub mod deque {
         Fifo,
     }
 
-    /// The owner handle of a deque.
+    /// The owner handle of a deque (`Send` but not `Sync`: pushes and pops
+    /// must come from one thread at a time).
     pub struct Worker<T> {
-        inner: Arc<Mutex<VecDeque<T>>>,
+        inner: Arc<Inner<T>>,
         flavor: Flavor,
+        /// Opts out of `Sync` (a `Cell` is `Send` but not `Sync`).
+        _not_sync: PhantomData<Cell<()>>,
     }
 
     /// A stealer handle (cloneable, shareable across threads).
     pub struct Stealer<T> {
-        inner: Arc<Mutex<VecDeque<T>>>,
+        inner: Arc<Inner<T>>,
     }
 
     /// Outcome of a steal attempt.
@@ -188,39 +289,113 @@ pub mod deque {
     }
 
     impl<T> Worker<T> {
+        fn new(flavor: Flavor) -> Self {
+            Worker {
+                inner: Arc::new(Inner {
+                    top: AtomicIsize::new(0),
+                    bottom: AtomicIsize::new(0),
+                    buffer: AtomicPtr::new(Buffer::alloc(MIN_CAPACITY)),
+                    retired: Mutex::new(Vec::new()),
+                }),
+                flavor,
+                _not_sync: PhantomData,
+            }
+        }
+
         /// Creates a LIFO deque (owner pops its most recent push).
         pub fn new_lifo() -> Self {
-            Worker {
-                inner: Arc::new(Mutex::new(VecDeque::new())),
-                flavor: Flavor::Lifo,
-            }
+            Worker::new(Flavor::Lifo)
         }
 
         /// Creates a FIFO deque (owner pops its oldest push).
         pub fn new_fifo() -> Self {
-            Worker {
-                inner: Arc::new(Mutex::new(VecDeque::new())),
-                flavor: Flavor::Fifo,
-            }
+            Worker::new(Flavor::Fifo)
         }
 
-        /// Pushes a task onto the deque.
+        /// Pushes a task onto the bottom of the deque.
         pub fn push(&self, task: T) {
-            self.inner.lock().unwrap().push_back(task);
+            let inner = &*self.inner;
+            let b = inner.bottom.load(Ordering::Relaxed);
+            let t = inner.top.load(Ordering::Acquire);
+            let mut buf = inner.buffer.load(Ordering::Relaxed);
+            if b.wrapping_sub(t) >= unsafe { (*buf).cap } as isize {
+                buf = self.grow(t, b, buf);
+            }
+            // SAFETY: slot `b` is logically empty and we are the owner.
+            unsafe { (*buf).write(b, task) };
+            // Publish the write before making the slot visible to thieves.
+            inner.bottom.store(b.wrapping_add(1), Ordering::Release);
+        }
+
+        /// Replaces the buffer with one of twice the capacity (owner-only).
+        fn grow(&self, t: isize, b: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+            let inner = &*self.inner;
+            let new = unsafe {
+                let new = Buffer::alloc(((*old).cap * 2).max(MIN_CAPACITY));
+                let mut i = t;
+                while i < b {
+                    // Bitwise copy: values stay logically owned by the deque;
+                    // the old buffer is only deallocated, never dropped
+                    // element-wise.
+                    (*new).write(i, (*old).read(i));
+                    i = i.wrapping_add(1);
+                }
+                new
+            };
+            inner.buffer.store(new, Ordering::Release);
+            inner.retired.lock().unwrap().push(old);
+            new
         }
 
         /// Pops a task (from the end determined by the flavor).
         pub fn pop(&self) -> Option<T> {
-            let mut q = self.inner.lock().unwrap();
             match self.flavor {
-                Flavor::Lifo => q.pop_back(),
-                Flavor::Fifo => q.pop_front(),
+                Flavor::Lifo => self.pop_bottom(),
+                Flavor::Fifo => loop {
+                    // FIFO owners take from the top, racing like a thief.
+                    match steal_top(&self.inner) {
+                        Steal::Success(task) => return Some(task),
+                        Steal::Empty => return None,
+                        Steal::Retry => continue,
+                    }
+                },
+            }
+        }
+
+        fn pop_bottom(&self) -> Option<T> {
+            let inner = &*self.inner;
+            let b = inner.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+            let buf = inner.buffer.load(Ordering::Relaxed);
+            inner.bottom.store(b, Ordering::Relaxed);
+            // Order the `bottom` store before reading `top` (Lê et al.).
+            fence(Ordering::SeqCst);
+            let t = inner.top.load(Ordering::Relaxed);
+            if t <= b {
+                if t == b {
+                    // Single element left: race thieves for it on `top`.
+                    let won = inner
+                        .top
+                        .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                        .is_ok();
+                    inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+                    // SAFETY: we won the CAS, so no thief reads this slot.
+                    won.then(|| unsafe { (*buf).read(b) })
+                } else {
+                    // SAFETY: more than one element: slot `b` is owner-only.
+                    Some(unsafe { (*buf).read(b) })
+                }
+            } else {
+                // Deque was empty: restore `bottom`.
+                inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+                None
             }
         }
 
         /// `true` when the deque holds no tasks.
         pub fn is_empty(&self) -> bool {
-            self.inner.lock().unwrap().is_empty()
+            let t = self.inner.top.load(Ordering::SeqCst);
+            let b = self.inner.bottom.load(Ordering::SeqCst);
+            b.wrapping_sub(t) <= 0
         }
 
         /// Creates a stealer for this deque.
@@ -231,18 +406,42 @@ pub mod deque {
         }
     }
 
+    /// One steal attempt from the top of the deque.
+    fn steal_top<T>(inner: &Inner<T>) -> Steal<T> {
+        let t = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if b.wrapping_sub(t) <= 0 {
+            return Steal::Empty;
+        }
+        let buf = inner.buffer.load(Ordering::Acquire);
+        // SAFETY: a bitwise copy; it only becomes *the* value if the CAS
+        // below wins, otherwise it is forgotten. The slot cannot have been
+        // overwritten: the owner would have grown into a new buffer first.
+        let task = unsafe { (*buf).read(t) };
+        if inner
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(task)
+        } else {
+            mem::forget(task);
+            Steal::Retry
+        }
+    }
+
     impl<T> Stealer<T> {
-        /// Steals the task at the opposite end from the owner.
+        /// Steals the oldest task in the deque.
         pub fn steal(&self) -> Steal<T> {
-            match self.inner.lock().unwrap().pop_front() {
-                Some(t) => Steal::Success(t),
-                None => Steal::Empty,
-            }
+            steal_top(&self.inner)
         }
 
         /// `true` when the deque holds no tasks.
         pub fn is_empty(&self) -> bool {
-            self.inner.lock().unwrap().is_empty()
+            let t = self.inner.top.load(Ordering::SeqCst);
+            let b = self.inner.bottom.load(Ordering::SeqCst);
+            b.wrapping_sub(t) <= 0
         }
     }
 
@@ -259,6 +458,7 @@ pub mod deque {
 mod tests {
     use super::channel::{unbounded, TryRecvError};
     use super::deque::{Steal, Worker};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn channel_fifo_order() {
@@ -318,5 +518,97 @@ mod tests {
         assert_eq!(s.steal(), Steal::Success(1)); // stealer: oldest
         assert_eq!(w.pop(), Some(2));
         assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn deque_fifo_owner_pops_oldest() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn deque_grows_past_initial_capacity() {
+        let w = Worker::new_lifo();
+        for i in 0..10_000 {
+            w.push(i);
+        }
+        let mut popped = 0;
+        while w.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 10_000);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn deque_drops_remaining_items() {
+        struct Token(std::sync::Arc<AtomicUsize>);
+        impl Drop for Token {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = std::sync::Arc::new(AtomicUsize::new(0));
+        let w = Worker::new_lifo();
+        for _ in 0..100 {
+            w.push(Token(std::sync::Arc::clone(&drops)));
+        }
+        drop(w.pop());
+        drop(w);
+        assert_eq!(drops.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn deque_concurrent_steals_take_each_item_once() {
+        // One producer/owner, three thieves; every pushed value must be
+        // taken exactly once across owner pops and steals.
+        const N: u64 = 100_000;
+        let w = Worker::new_lifo();
+        let sum = AtomicUsize::new(0);
+        let taken = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let s = w.stealer();
+                let sum = &sum;
+                let taken = &taken;
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            sum.fetch_add(v as usize, Ordering::Relaxed);
+                            taken.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if taken.load(Ordering::SeqCst) >= N as usize {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let sum = &sum;
+            let taken = &taken;
+            // The owner interleaves pushes with occasional pops.
+            for i in 0..N {
+                w.push(i);
+                if i % 7 == 0 {
+                    if let Some(v) = w.pop() {
+                        sum.fetch_add(v as usize, Ordering::Relaxed);
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            while let Some(v) = w.pop() {
+                sum.fetch_add(v as usize, Ordering::Relaxed);
+                taken.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(taken.load(Ordering::SeqCst), N as usize);
+        assert_eq!(sum.load(Ordering::SeqCst) as u64, N * (N - 1) / 2);
     }
 }
