@@ -17,20 +17,25 @@
 //!
 //! The *shuffles* themselves stream: table rows are pushed chunk-wise
 //! through the bounded router, and when a destination inbox fills the
-//! (single-threaded) evaluator cooperatively drains it straight into the
-//! destination's `PUSH-JOIN` build. The shuffle therefore never
-//! double-buffers a whole table — transient shuffle memory is bounded by the
-//! router capacity plus the joiners' spill threshold, and it is charged to
-//! the context's [`MemoryTracker`] so the bound is observable.
+//! evaluating machine cooperatively drains *its own* inbox straight into its
+//! `PUSH-JOIN` build (the same deadlock-free protocol the HUGE engine's
+//! machines follow). The shuffle therefore never double-buffers a whole
+//! table — transient shuffle memory is bounded by the router capacity plus
+//! the joiners' spill threshold, and it is charged to the context's
+//! [`MemoryTracker`] so the bound is observable.
 //!
-//! Execution note: machines are processed sequentially inside one thread
-//! (the baselines are far simpler than the HUGE engine); the measured wall
-//! time is divided by the machine count to approximate an ideally parallel
-//! BFS execution. This keeps the comparison conservative — the baselines are
-//! charged no synchronisation or skew overhead at all.
+//! Execution note: the simulated machines run *concurrently*, one persistent
+//! worker per machine on the context's [`WorkerPool`]
+//! ([`BaselineCtx::machine_pool`]). The measured wall time therefore
+//! includes the baselines' real synchronisation cost — stragglers, shuffle
+//! backpressure and the end-of-shuffle barrier — instead of the historic
+//! sequential evaluation that divided wall time by the machine count and
+//! charged no synchronisation at all.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use huge_comm::router::PushEnvelope;
 use huge_comm::stats::ClusterStats;
@@ -42,7 +47,7 @@ use huge_core::join::{JoinSide, MemoryTrackerHandle};
 use huge_core::memory::MemoryTracker;
 use huge_core::operators::passes_filters;
 use huge_core::pool::WorkerPool;
-use huge_core::{LoadBalance, Result};
+use huge_core::{EngineError, LoadBalance, Result};
 use huge_graph::{GraphPartition, VertexId};
 use huge_plan::translate::{JoinOp, OrderFilter};
 use huge_query::{PartialOrder, QueryGraph, QueryVertex};
@@ -55,6 +60,9 @@ const DEFAULT_QUEUE_ROWS: usize = 16 * DEFAULT_BATCH_SIZE;
 
 /// Default in-memory bytes per `PUSH-JOIN` side before spilling to disk.
 const DEFAULT_SPILL_BYTES: u64 = 64 * 1024 * 1024;
+
+/// How long a baseline machine parks while cooperating on a shuffle.
+const SHUFFLE_PARK: Duration = Duration::from_millis(1);
 
 /// A fully materialised, hash-distributed intermediate result.
 #[derive(Clone, Debug)]
@@ -117,6 +125,11 @@ pub struct BaselineCtx {
     endpoints: Vec<RouterEndpoint>,
     cache: huge_cache::LrbuCache,
     pool: WorkerPool,
+    /// Machine-level pool: one persistent worker per simulated machine, so
+    /// the machines execute concurrently and wall time includes their real
+    /// synchronisation cost (workers spawn once and are reused by every
+    /// operator of the run).
+    machine_pool: WorkerPool,
     spill_dir: PathBuf,
     batch_size: usize,
     join_spill_bytes: u64,
@@ -159,6 +172,10 @@ impl BaselineCtx {
             endpoints,
             cache: huge_cache::LrbuCache::new(0),
             pool: WorkerPool::new(1, LoadBalance::None),
+            // `None` pins one job per worker: k machine jobs land on k
+            // distinct workers, so jobs that rendezvous on a shuffle barrier
+            // can never serialise onto one worker and deadlock.
+            machine_pool: WorkerPool::new(k, LoadBalance::None),
             spill_dir: {
                 static CTX_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
                 let seq = CTX_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -175,6 +192,11 @@ impl BaselineCtx {
     /// Number of machines.
     pub fn k(&self) -> usize {
         self.partitions.len()
+    }
+
+    /// The machine-level worker pool (one persistent worker per machine).
+    pub fn machine_pool(&self) -> &WorkerPool {
+        &self.machine_pool
     }
 
     /// Peak intermediate-result bytes for the run report: the largest
@@ -248,6 +270,16 @@ impl BaselineCtx {
     /// streaming loops poll this to know when to drain locally too.
     fn inbox_full(&self, m: usize) -> bool {
         self.endpoints[m].inbox_full(m)
+    }
+
+    /// Parks machine `m` briefly until data lands in its inbox.
+    fn wait_data(&self, m: usize) {
+        self.endpoints[m].wait_data(SHUFFLE_PARK);
+    }
+
+    /// Parks machine `m` briefly until `dest`'s inbox has room.
+    fn wait_space(&self, m: usize, dest: usize) {
+        self.endpoints[m].wait_space(dest, SHUFFLE_PARK);
     }
 }
 
@@ -346,7 +378,8 @@ impl BatchOperator for StarScan {
 
 /// Enumerates the matches of a star `(root; leaves)` as a distributed table:
 /// each machine materialises the stars rooted at its local vertices through
-/// a [`StarScan`] operator.
+/// a [`StarScan`] operator. The machines run concurrently on the context's
+/// machine pool.
 pub fn scan_star(
     ctx: &mut BaselineCtx,
     root: QueryVertex,
@@ -355,13 +388,24 @@ pub fn scan_star(
     let mut schema = vec![root];
     schema.extend_from_slice(leaves);
     let filters = order_filters(&ctx.order, &schema);
-    let mut table = DistTable::new(schema, ctx.k());
-    for m in 0..ctx.k() {
-        let op_ctx = ctx.op_context(m);
-        let mut scan = StarScan::new(leaves.len(), filters.clone());
-        let out = &mut table.rows[m];
-        let mut ops: [&mut dyn BatchOperator; 1] = [&mut scan];
-        run_pipeline(&mut ops, &op_ctx, &mut |mut batch| out.append(&mut batch))?;
+    let arity = schema.len();
+    let k = ctx.k();
+    let mut table = DistTable::new(schema, k);
+    let pool = ctx.machine_pool.clone();
+    let shared: &BaselineCtx = ctx;
+    let scanned = pool.run(
+        (0..k).collect::<Vec<_>>(),
+        |m, out: &mut Vec<(usize, Result<RowBatch>)>| {
+            let op_ctx = shared.op_context(m);
+            let mut scan = StarScan::new(leaves.len(), filters.clone());
+            let mut rows = RowBatch::new(arity);
+            let mut ops: [&mut dyn BatchOperator; 1] = [&mut scan];
+            let res = run_pipeline(&mut ops, &op_ctx, &mut |mut batch| rows.append(&mut batch));
+            out.push((m, res.map(|()| rows)));
+        },
+    );
+    for (m, rows) in scanned.into_flat() {
+        table.rows[m] = rows?;
     }
     ctx.note_table(&table);
     Ok(table)
@@ -412,19 +456,97 @@ fn absorb_into_joiner(ctx: &BaselineCtx, m: usize, join: &mut PushJoin) -> Resul
     Ok(())
 }
 
+/// Runs one machine job's fallible body, converting a panic into an error
+/// and raising the shared failure flag either way, so peers parked in a
+/// shuffle rendezvous bail out instead of waiting forever for a machine
+/// that will never arrive.
+fn guard_job<T>(failed: &AtomicBool, body: impl FnOnce() -> Result<T>) -> Result<T> {
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).unwrap_or_else(|_| {
+        Err(EngineError::WorkerPanic(
+            "baseline machine job panicked".into(),
+        ))
+    });
+    if res.is_err() {
+        failed.store(true, Ordering::SeqCst);
+    }
+    res
+}
+
+/// The cooperative shuffle protocol of one machine `m`: push every chunk of
+/// `batches` (each a `(tag, rows)` side) to the destinations `route`
+/// chooses, draining the *own* inbox via `drain` under backpressure (the
+/// deadlock-free discipline the HUGE machines follow), then rendezvous —
+/// keep absorbing until every machine has decremented `shuffling` — so no
+/// peer's final envelopes are stranded. Bails out with an error as soon as
+/// `failed` is raised by any machine.
+fn shuffle_rendezvous(
+    shared: &BaselineCtx,
+    m: usize,
+    shuffling: &AtomicUsize,
+    failed: &AtomicBool,
+    batches: Vec<(usize, RowBatch)>,
+    route: impl Fn(&RowBatch, usize) -> Vec<RowBatch>,
+    mut drain: impl FnMut() -> Result<()>,
+) -> Result<()> {
+    let aborted = || EngineError::Aborted("baseline shuffle aborted by a failed machine".into());
+    for (tag, rows) in batches {
+        for chunk in rows.chunked(shared.batch_size) {
+            for (dest, part) in route(&chunk, tag).into_iter().enumerate() {
+                let mut pending = part;
+                loop {
+                    match shared.try_push_shuffled(m, dest, tag, pending) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            if failed.load(Ordering::SeqCst) {
+                                return Err(aborted());
+                            }
+                            pending = back;
+                            // Cooperate: absorb the own inbox so peers
+                            // blocked on *us* progress, then park for space.
+                            drain()?;
+                            shared.wait_space(m, dest);
+                        }
+                    }
+                }
+            }
+            // Pushes to the own machine are forced past the bound (they can
+            // never block); drain them as soon as the inbox fills so the
+            // local share of a table is never double-buffered either.
+            if shared.inbox_full(m) {
+                drain()?;
+            }
+        }
+    }
+    // Done shuffling: keep absorbing until every machine is too, so no
+    // peer's final envelopes are stranded.
+    shuffling.fetch_sub(1, Ordering::SeqCst);
+    while shuffling.load(Ordering::SeqCst) > 0 {
+        if failed.load(Ordering::SeqCst) {
+            return Err(aborted());
+        }
+        drain()?;
+        shared.wait_data(m);
+    }
+    drain()
+}
+
 /// A pushing distributed hash join: both sides are shuffled by the join key
 /// through the accounted router, then joined per machine with the shared
-/// [`PushJoin`] operator.
+/// [`PushJoin`] operator. The tables are consumed: each machine's share
+/// moves into its shuffle without being copied first.
 ///
-/// The shuffle *streams*: table rows are pushed chunk-wise, and whenever a
-/// destination inbox reaches capacity it is drained straight into that
-/// machine's `PUSH-JOIN` build (which itself spills past its threshold).
-/// Unlike the historic materialise-then-shuffle implementation, no copy of a
-/// whole table ever sits in the router.
+/// The machines run concurrently (one persistent pool worker each) and the
+/// shuffle *streams*: table rows are pushed chunk-wise, and a machine that
+/// sees backpressure cooperatively drains *its own* inbox into its build
+/// (which itself spills past its threshold) before retrying — the same
+/// deadlock-free protocol the HUGE engine's machines follow. Once a machine
+/// has shuffled everything it keeps absorbing until every machine is done
+/// (that rendezvous is the real synchronisation cost of a BFS-style
+/// distributed join), then seals and polls its join.
 pub fn hash_join_pushing(
     ctx: &mut BaselineCtx,
-    left: &DistTable,
-    right: &DistTable,
+    left: DistTable,
+    right: DistTable,
 ) -> Result<DistTable> {
     let key: Vec<QueryVertex> = left
         .schema
@@ -454,6 +576,7 @@ pub fn hash_join_pushing(
     let filters = order_filters(&ctx.order, &out_schema);
 
     let k = ctx.k();
+    let out_arity = out_schema.len();
     let op = JoinOp {
         left: LEFT_TAG,
         right: RIGHT_TAG,
@@ -462,7 +585,7 @@ pub fn hash_join_pushing(
         right_payload: payload_right,
         filters,
     };
-    let mut joiners: Vec<PushJoin> = (0..k)
+    let joiners: Vec<PushJoin> = (0..k)
         .map(|m| {
             PushJoin::new(
                 op.clone(),
@@ -476,51 +599,56 @@ pub fn hash_join_pushing(
         })
         .collect();
 
-    // Shuffle both sides by key hash through the router, chunk by chunk:
-    // bytes crossing machines are charged there, one message per batch of at
-    // most `batch_size` rows — the same batch granularity the HUGE engine
-    // ships, which is what makes the reported message counts comparable.
-    for m in 0..k {
-        for (tag, table, keys) in [
-            (LEFT_TAG, left, &op.key_left),
-            (RIGHT_TAG, right, &op.key_right),
-        ] {
-            for chunk in table.rows[m].chunked(ctx.batch_size) {
-                for (dest, part) in partition_by_key(&chunk, keys, k).into_iter().enumerate() {
-                    let mut pending = part;
-                    loop {
-                        match ctx.try_push_shuffled(m, dest, tag, pending) {
-                            Ok(()) => break,
-                            Err(back) => {
-                                // Destination inbox full: stream it into the
-                                // destination's build and retry.
-                                pending = back;
-                                absorb_into_joiner(ctx, dest, &mut joiners[dest])?;
-                            }
-                        }
-                    }
+    // One job per machine: shuffle the local share of both sides (bytes
+    // crossing machines are charged in the router, one message per batch of
+    // at most `batch_size` rows — the granularity the HUGE engine ships, so
+    // reported message counts stay comparable), then rendezvous and join.
+    let shuffling = AtomicUsize::new(k);
+    let failed = AtomicBool::new(false);
+    let items: Vec<(usize, RowBatch, RowBatch, PushJoin)> = joiners
+        .into_iter()
+        .zip(left.rows)
+        .zip(right.rows)
+        .enumerate()
+        .map(|(m, ((join, l), r))| (m, l, r, join))
+        .collect();
+    let pool = ctx.machine_pool.clone();
+    let shared: &BaselineCtx = ctx;
+    let joined = pool.run(
+        items,
+        |(m, left_rows, right_rows, mut join), out: &mut Vec<(usize, Result<RowBatch>)>| {
+            let res = guard_job(&failed, || {
+                shuffle_rendezvous(
+                    shared,
+                    m,
+                    &shuffling,
+                    &failed,
+                    vec![(LEFT_TAG, left_rows), (RIGHT_TAG, right_rows)],
+                    |chunk, tag| {
+                        let keys = if tag == LEFT_TAG {
+                            &op.key_left
+                        } else {
+                            &op.key_right
+                        };
+                        partition_by_key(chunk, keys, k)
+                    },
+                    || absorb_into_joiner(shared, m, &mut join),
+                )?;
+                let op_ctx = shared.op_context(m);
+                join.finish_input(&op_ctx)?;
+                let mut rows = RowBatch::new(out_arity);
+                while let OpPoll::Ready(mut batch) = join.poll_next(&op_ctx)? {
+                    rows.append(&mut batch);
                 }
-                // Pushes to the own machine are forced past the bound (they
-                // can never block); drain them into the local build as soon
-                // as the inbox fills so the local share of a table is never
-                // double-buffered either.
-                if ctx.inbox_full(m) {
-                    absorb_into_joiner(ctx, m, &mut joiners[m])?;
-                }
-            }
-        }
-    }
+                Ok(rows)
+            });
+            out.push((m, res));
+        },
+    );
 
-    // Absorb whatever is still queued, then drive the joins incrementally.
     let mut output = DistTable::new(out_schema, k);
-    for (m, mut join) in joiners.into_iter().enumerate() {
-        absorb_into_joiner(ctx, m, &mut join)?;
-        let op_ctx = ctx.op_context(m);
-        join.finish_input(&op_ctx)?;
-        let out = &mut output.rows[m];
-        while let OpPoll::Ready(mut batch) = join.poll_next(&op_ctx)? {
-            out.append(&mut batch);
-        }
+    for (m, rows) in joined.into_flat() {
+        output.rows[m] = rows?;
     }
     ctx.note_table(&output);
     Ok(output)
@@ -533,10 +661,12 @@ pub fn hash_join_pushing(
 /// BiGJoin's pushing wco extension: every partial result is routed to the
 /// owners of the vertices whose neighbourhoods are intersected (one hop per
 /// backward neighbour, moved batch-wise through the accounted router), then
-/// extended by the intersection at the last-visited machine.
+/// extended by the intersection at the last-visited machine. The machines of
+/// each hop run concurrently on the context's machine pool, draining their
+/// own inboxes under backpressure and rendezvousing at the end of the hop.
 pub fn wco_extend_pushing(
     ctx: &mut BaselineCtx,
-    input: &DistTable,
+    input: DistTable,
     target: QueryVertex,
     backward: &[QueryVertex],
 ) -> Result<DistTable> {
@@ -548,85 +678,93 @@ pub fn wco_extend_pushing(
     out_schema.push(target);
     let filters = order_filters(&ctx.order, &out_schema);
     let k = ctx.k();
+    let arity = input.arity();
+    let out_arity = out_schema.len();
     const WCO_TAG: usize = 0;
+    let pool = ctx.machine_pool.clone();
 
     // Route the partial results hop by hop through the owners of the
     // vertices being intersected. Every row crossing machines is charged the
     // same bytes the original system's per-row walk would ship; messages are
     // counted per batch (not per row), matching the granularity the HUGE
-    // engine's router reports so the two are comparable. A full destination
-    // inbox is drained straight into the next hop's buffer, so the bounded
-    // router never holds more than its capacity.
-    let mut current: Vec<RowBatch> = input.rows.clone();
+    // engine's router reports so the two are comparable. A machine seeing a
+    // full destination inbox drains its own inbox into the next hop's
+    // buffer, so the bounded router never holds more than its capacity (and
+    // the input table is consumed — its local shares move into the first
+    // hop without being copied).
+    let mut current: Vec<RowBatch> = input.rows;
     for &p in &positions {
-        let arity = input.arity();
-        let mut next: Vec<RowBatch> = (0..k).map(|_| RowBatch::new(arity)).collect();
-        for (m, buffered) in current.into_iter().enumerate() {
-            for chunk in buffered.split_into_chunks(ctx.batch_size) {
-                for (dest, part) in partition_by_owner(&chunk, p, ctx.rpc(), k)
-                    .into_iter()
-                    .enumerate()
-                {
-                    let mut pending = part;
-                    loop {
-                        match ctx.try_push_shuffled(m, dest, WCO_TAG, pending) {
-                            Ok(()) => break,
-                            Err(back) => {
-                                pending = back;
-                                for env in ctx.drain_machine(dest) {
-                                    let mut batch = env.batch;
-                                    next[dest].append(&mut batch);
-                                }
+        let shuffling = AtomicUsize::new(k);
+        let failed = AtomicBool::new(false);
+        let shared: &BaselineCtx = ctx;
+        let routed = pool.run(
+            current.into_iter().enumerate().collect::<Vec<_>>(),
+            |(m, buffered), out: &mut Vec<(usize, Result<RowBatch>)>| {
+                let res = guard_job(&failed, || {
+                    let mut mine = RowBatch::new(arity);
+                    shuffle_rendezvous(
+                        shared,
+                        m,
+                        &shuffling,
+                        &failed,
+                        vec![(WCO_TAG, buffered)],
+                        |chunk, _tag| partition_by_owner(chunk, p, shared.rpc(), k),
+                        || {
+                            for env in shared.drain_machine(m) {
+                                let mut batch = env.batch;
+                                mine.append(&mut batch);
                             }
-                        }
-                    }
-                }
-                // Forced local pushes bypass the bound: drain them as soon
-                // as the own inbox fills.
-                if ctx.inbox_full(m) {
-                    for env in ctx.drain_machine(m) {
-                        let mut batch = env.batch;
-                        next[m].append(&mut batch);
-                    }
-                }
-            }
-        }
-        for (dest, bucket) in next.iter_mut().enumerate() {
-            for env in ctx.drain_machine(dest) {
-                let mut batch = env.batch;
-                bucket.append(&mut batch);
-            }
+                            Ok(())
+                        },
+                    )?;
+                    Ok(mine)
+                });
+                out.push((m, res));
+            },
+        );
+        let mut next: Vec<RowBatch> = (0..k).map(|_| RowBatch::new(arity)).collect();
+        for (m, rows) in routed.into_flat() {
+            next[m] = rows?;
         }
         current = next;
     }
 
     // Extend at the final machine: intersect the neighbourhoods (each list
-    // was owned by one of the visited machines).
+    // was owned by one of the visited machines). Read-only, so the machines
+    // simply run concurrently.
+    let shared: &BaselineCtx = ctx;
+    let extended = pool.run(
+        current.into_iter().enumerate().collect::<Vec<_>>(),
+        |(m, buffered), out: &mut Vec<(usize, RowBatch)>| {
+            let mut rows = RowBatch::new(out_arity);
+            for row in buffered.rows() {
+                let mut candidates: Option<Vec<VertexId>> = None;
+                for &p in &positions {
+                    let nbrs = shared.partitions[0].any_neighbours(row[p]);
+                    candidates = Some(match candidates {
+                        None => nbrs.to_vec(),
+                        Some(prev) => huge_graph::graph::intersect_sorted(&prev, nbrs),
+                    });
+                }
+                let mut joined = Vec::with_capacity(row.len() + 1);
+                for c in candidates.unwrap_or_default() {
+                    if row.contains(&c) {
+                        continue;
+                    }
+                    joined.clear();
+                    joined.extend_from_slice(row);
+                    joined.push(c);
+                    if passes_filters(&joined, &filters) {
+                        rows.push_row(&joined);
+                    }
+                }
+            }
+            out.push((m, rows));
+        },
+    );
     let mut output = DistTable::new(out_schema, k);
-    for (m, buffered) in current.iter().enumerate() {
-        let out = &mut output.rows[m];
-        for row in buffered.rows() {
-            let mut candidates: Option<Vec<VertexId>> = None;
-            for &p in &positions {
-                let nbrs = ctx.partitions[0].any_neighbours(row[p]);
-                candidates = Some(match candidates {
-                    None => nbrs.to_vec(),
-                    Some(prev) => huge_graph::graph::intersect_sorted(&prev, nbrs),
-                });
-            }
-            let mut joined = Vec::with_capacity(row.len() + 1);
-            for c in candidates.unwrap_or_default() {
-                if row.contains(&c) {
-                    continue;
-                }
-                joined.clear();
-                joined.extend_from_slice(row);
-                joined.push(c);
-                if passes_filters(&joined, &filters) {
-                    out.push_row(&joined);
-                }
-            }
-        }
+    for (m, rows) in extended.into_flat() {
+        output.rows[m] = rows;
     }
     ctx.note_table(&output);
     Ok(output)
@@ -661,7 +799,7 @@ mod tests {
         let mut ctx = BaselineCtx::new(parts, &q);
         let left = scan_star(&mut ctx, 0, &[1, 3]).unwrap();
         let right = scan_star(&mut ctx, 2, &[1, 3]).unwrap();
-        let joined = hash_join_pushing(&mut ctx, &left, &right).unwrap();
+        let joined = hash_join_pushing(&mut ctx, left, right).unwrap();
         let expected = huge_query::naive::enumerate(&gen::complete(6), &q);
         assert_eq!(joined.total_rows(), expected);
         assert!(ctx.stats.total().bytes_pushed > 0);
@@ -673,7 +811,7 @@ mod tests {
         let q = Pattern::Triangle.query_graph();
         let mut ctx = BaselineCtx::new(parts, &q);
         let edges = scan_star(&mut ctx, 0, &[1]).unwrap();
-        let triangles = wco_extend_pushing(&mut ctx, &edges, 2, &[0, 1]).unwrap();
+        let triangles = wco_extend_pushing(&mut ctx, edges, 2, &[0, 1]).unwrap();
         // K6 has C(6,3) = 20 triangles.
         assert_eq!(triangles.total_rows(), 20);
     }
@@ -696,9 +834,9 @@ mod tests {
         let mut ctx = BaselineCtx::new(parts, &q);
         let table = scan_star(&mut ctx, 0, &[1]).unwrap();
         assert_eq!(table.total_rows(), 0);
-        let extended = wco_extend_pushing(&mut ctx, &table, 2, &[0, 1]).unwrap();
+        let extended = wco_extend_pushing(&mut ctx, table.clone(), 2, &[0, 1]).unwrap();
         assert_eq!(extended.total_rows(), 0);
-        let joined = hash_join_pushing(&mut ctx, &table, &extended).unwrap();
+        let joined = hash_join_pushing(&mut ctx, table, extended).unwrap();
         assert_eq!(joined.total_rows(), 0);
         assert_eq!(ctx.stats.total().total_bytes(), 0);
     }

@@ -86,7 +86,10 @@ impl Rads {
         }
 
         let matches = table.total_rows();
-        let compute_time = start.elapsed() / self.config.machines.max(1) as u32;
+        // Machines expand concurrently on the context's machine pool, so the
+        // wall clock includes their real skew instead of assuming ideal
+        // parallelism.
+        let compute_time = start.elapsed();
         let comm = ctx.stats.total();
         Ok(RunReport {
             query: format!("RADS:{}", query.name()),
@@ -103,7 +106,8 @@ impl Rads {
 
 /// Expands every partial match by a star rooted at the already-bound vertex
 /// `root`, pulling the root's adjacency list when it is remote. Bound leaves
-/// are verified; unbound leaves are enumerated injectively.
+/// are verified; unbound leaves are enumerated injectively. The machines
+/// expand concurrently on the context's machine pool.
 fn expand_star_pulling(
     ctx: &mut BaselineCtx,
     input: &DistTable,
@@ -128,49 +132,58 @@ fn expand_star_pulling(
     out_schema.extend_from_slice(&unbound);
 
     let k = ctx.k();
-    let mut output = DistTable::new(out_schema.clone(), k);
-    for m in 0..k {
-        // Per-machine cache of pulled adjacency lists (RADS caches within a
-        // region group; we grant it a whole-machine cache, which is
-        // generous). Fetches go through the shared RPC fabric, which charges
-        // remote pulls exactly as the HUGE engine's `PULL-EXTEND` is charged.
-        let mut cache: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
-        let out = &mut output.rows[m];
-        for row in input.machine_rows(m) {
-            let anchor = row[root_pos];
-            let nbrs = &*cache.entry(anchor).or_insert_with(|| {
-                ctx.rpc()
-                    .get_nbrs(m, &[anchor])
-                    .into_iter()
-                    .next()
-                    .map(|(_, nbrs)| nbrs)
-                    .unwrap_or_default()
-            });
-            // Verification of already-bound leaves.
-            let verified = bound
-                .iter()
-                .all(|&(pos, _)| nbrs.binary_search(&row[pos]).is_ok());
-            if !verified {
-                continue;
-            }
-            // Enumerate injective assignments for the unbound leaves.
-            let mut assignment: Vec<VertexId> = Vec::with_capacity(unbound.len());
-            enumerate_unbound(nbrs, row, unbound.len(), &mut assignment, &mut |vals| {
-                let mut joined = Vec::with_capacity(out_schema.len());
-                joined.extend_from_slice(row);
-                joined.extend_from_slice(vals);
-                if ctx_order_ok(ctx, &out_schema, &joined) {
-                    out.push_row(&joined);
+    let out_arity = out_schema.len();
+    let pool = ctx.machine_pool().clone();
+    let shared: &BaselineCtx = ctx;
+    let out_schema_ref = &out_schema;
+    let expanded = pool.run(
+        (0..k).collect::<Vec<_>>(),
+        |m, out: &mut Vec<(usize, huge_comm::RowBatch)>| {
+            // Per-machine cache of pulled adjacency lists (RADS caches within
+            // a region group; we grant it a whole-machine cache, which is
+            // generous). Fetches go through the shared RPC fabric, which
+            // charges remote pulls exactly as the HUGE engine's `PULL-EXTEND`
+            // is charged.
+            let mut cache: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+            let mut rows = huge_comm::RowBatch::new(out_arity);
+            for row in input.machine_rows(m) {
+                let anchor = row[root_pos];
+                let nbrs = &*cache.entry(anchor).or_insert_with(|| {
+                    shared
+                        .rpc()
+                        .get_nbrs(m, &[anchor])
+                        .into_iter()
+                        .next()
+                        .map(|(_, nbrs)| nbrs)
+                        .unwrap_or_default()
+                });
+                // Verification of already-bound leaves.
+                let verified = bound
+                    .iter()
+                    .all(|&(pos, _)| nbrs.binary_search(&row[pos]).is_ok());
+                if !verified {
+                    continue;
                 }
-            });
-        }
+                // Enumerate injective assignments for the unbound leaves.
+                let mut assignment: Vec<VertexId> = Vec::with_capacity(unbound.len());
+                enumerate_unbound(nbrs, row, unbound.len(), &mut assignment, &mut |vals| {
+                    let mut joined = Vec::with_capacity(out_arity);
+                    joined.extend_from_slice(row);
+                    joined.extend_from_slice(vals);
+                    if shared.order_ok(out_schema_ref, &joined) {
+                        rows.push_row(&joined);
+                    }
+                });
+            }
+            out.push((m, rows));
+        },
+    );
+    let mut output = DistTable::new(out_schema.clone(), k);
+    for (m, rows) in expanded.into_flat() {
+        output.rows[m] = rows;
     }
     ctx.note_table(&output);
     output
-}
-
-fn ctx_order_ok(ctx: &BaselineCtx, schema: &[QueryVertex], row: &[VertexId]) -> bool {
-    ctx.order_ok(schema, row)
 }
 
 fn enumerate_unbound(

@@ -4,9 +4,9 @@
 //! cargo run -p huge-bench --release --bin experiments -- <exp> [--scale S] [--machines K]
 //! ```
 //!
-//! where `<exp>` is one of `table1`, `exp1` … `exp10`, or `all`. The default
-//! scale (0.08) keeps the whole suite in the minutes range on a laptop;
-//! increase `--scale` to approach the paper's workloads.
+//! where `<exp>` is one of `table1`, `exp1` … `exp10`, `barrier`, or `all`.
+//! The default scale (0.08) keeps the whole suite in the minutes range on a
+//! laptop; increase `--scale` to approach the paper's workloads.
 
 use std::time::Duration;
 
@@ -17,6 +17,7 @@ use huge_core::{ClusterConfig, HugeCluster, LoadBalance, SinkMode};
 use huge_graph::DatasetKind;
 use huge_plan::baselines::{hybrid_computation_only_plan, plug_into_huge, BaselineSystem};
 use huge_plan::cost::HybridEstimator;
+use huge_plan::optimizer::OptimizerOptions;
 
 struct Options {
     scale: f64,
@@ -53,7 +54,7 @@ fn main() {
     let experiments: Vec<&str> = if exp == "all" {
         vec![
             "table1", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8", "exp9",
-            "exp10",
+            "exp10", "barrier",
         ]
     } else {
         vec![exp.as_str()]
@@ -72,6 +73,7 @@ fn main() {
             "exp8" => exp8(&opts),
             "exp9" => exp9(&opts),
             "exp10" => exp10(&opts),
+            "barrier" => barrier(&opts),
             other => eprintln!("unknown experiment {other}"),
         }
     }
@@ -446,6 +448,58 @@ fn exp9(opts: &Options) {
                 report.matches.to_string(),
             ]);
         }
+    }
+    println!("\n{}", table.render());
+}
+
+/// Barrier teardown: the same multi-segment `PUSH-JOIN` plans under the
+/// barriered escape hatch (`pipeline_segments(false)`) and the per-machine
+/// dataflow scheduler, so the per-segment synchronisation cost is
+/// quantifiable. "barrier bound" is the wall clock a barriered execution of
+/// the measured per-machine work needs at minimum; "overlap saved" is how
+/// much of it the pipelined run converted into overlap.
+fn barrier(opts: &Options) {
+    let graph = load_dataset(DatasetKind::Lj, opts.scale);
+    let mut table = TextTable::new(vec![
+        "query",
+        "mode",
+        "T_R(s)",
+        "barrier bound(s)",
+        "overlap saved(s)",
+        "threads",
+    ]);
+    for qi in [1usize, 2] {
+        let query = paper_query(qi);
+        let mut counts = Vec::new();
+        for (label, pipelined) in [("pipelined", true), ("barriered", false)] {
+            let config = default_config(opts.machines).pipeline_segments(pipelined);
+            let cluster = HugeCluster::build(graph.clone(), config).expect("cluster");
+            let plan = cluster
+                .plan_with_options(
+                    &query,
+                    OptimizerOptions {
+                        disable_pulling: true,
+                        ..Default::default()
+                    },
+                )
+                .expect("plan");
+            let report = cluster
+                .run_with_plan(&plan, SinkMode::Count)
+                .expect("barrier run");
+            counts.push(report.matches);
+            table.add_row(vec![
+                format!("q{qi}"),
+                label.to_string(),
+                secs(report.compute_time),
+                secs(report.barrier_bound()),
+                secs(report.overlap_saved()),
+                report.machine_threads_spawned.to_string(),
+            ]);
+        }
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "pipelined and barriered runs disagree on q{qi}"
+        );
     }
     println!("\n{}", table.render());
 }

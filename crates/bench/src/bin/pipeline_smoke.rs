@@ -1,7 +1,10 @@
 //! Pipeline smoke benchmark: a short, fixed workload over the event-driven
-//! runtime (persistent pool, notifying router, streaming shuffles) that
-//! writes a `BENCH_pipeline.json` summary artifact, so the runtime's perf
-//! trajectory is recorded per PR by CI.
+//! runtime (persistent pool, notifying router, streaming shuffles,
+//! cross-segment pipelining) that writes a `BENCH_pipeline.json` summary
+//! artifact, so the runtime's perf trajectory is recorded per PR by CI. The
+//! artifact includes a `barrier_vs_pipelined` ratio (barriered seconds over
+//! pipelined seconds on a multi-segment `PUSH-JOIN` plan; above 1.0 means
+//! tearing down the per-segment barrier pays off).
 //!
 //! ```text
 //! cargo run --release -p huge-bench --bin pipeline_smoke [-- <output.json>]
@@ -31,6 +34,24 @@ fn timed(name: &'static str, f: impl FnOnce() -> u64) -> Sample {
     let start = Instant::now();
     let result = f();
     let seconds = start.elapsed().as_secs_f64();
+    println!("{name:<28} {seconds:>8.3}s   result {result}");
+    Sample {
+        name,
+        seconds,
+        result,
+    }
+}
+
+/// Runs `f` `reps` times and keeps the best wall time (smoke runs are noisy;
+/// the minimum is the stable trend-line statistic).
+fn best_of(name: &'static str, reps: usize, f: impl Fn() -> u64) -> Sample {
+    let mut seconds = f64::INFINITY;
+    let mut result = 0;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        result = f();
+        seconds = seconds.min(start.elapsed().as_secs_f64());
+    }
     println!("{name:<28} {seconds:>8.3}s   result {result}");
     Sample {
         name,
@@ -91,8 +112,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .matches
     }));
 
+    // Cross-segment pipelining: the same multi-segment PUSH-JOIN plan under
+    // the barriered escape hatch versus the per-machine dataflow scheduler,
+    // with a *deterministic straggler* (a 250 ms injected delay on machine 1
+    // at the start of producer segment 1 — the scenario the scheduler
+    // exists for). Under barriers every machine idles until the straggler
+    // clears the segment; the dataflow scheduler reorders around it, so the
+    // peers' remaining producer work overlaps the delay. The ratio isolates
+    // the barrier cost deterministically instead of relying on natural skew
+    // that work stealing mostly rebalances anyway.
+    let seg_graph = gen::erdos_renyi(40_000, 160_000, 13);
+    let seg_query = Pattern::Square.query_graph();
+    let straggler = huge_core::Fault::Delay(std::time::Duration::from_millis(250));
+    let barriered_cluster = HugeCluster::build(
+        seg_graph.clone(),
+        ClusterConfig::new(4)
+            .workers(1)
+            .pipeline_segments(false)
+            .inject_fault(1, 1, straggler),
+    )?;
+    let pipelined_cluster = HugeCluster::build(
+        seg_graph.clone(),
+        ClusterConfig::new(4)
+            .workers(1)
+            .inject_fault(1, 1, straggler),
+    )?;
+    let seg_plan = pipelined_cluster.plan_with_options(
+        &seg_query,
+        huge_plan::optimizer::OptimizerOptions {
+            disable_pulling: true,
+            ..Default::default()
+        },
+    )?;
+    let barriered = best_of("join_plan_barriered", 2, || {
+        barriered_cluster
+            .run_with_plan(&seg_plan, SinkMode::Count)
+            .unwrap()
+            .matches
+    });
+    let pipelined = best_of("join_plan_pipelined", 2, || {
+        pipelined_cluster
+            .run_with_plan(&seg_plan, SinkMode::Count)
+            .unwrap()
+            .matches
+    });
+    assert_eq!(
+        barriered.result, pipelined.result,
+        "barriered and pipelined runs must count the same matches"
+    );
+    let ratio = barriered.seconds / pipelined.seconds.max(1e-9);
+    println!(
+        "{:<28} {ratio:>8.3}x   (>1: pipelining wins)",
+        "barrier_vs_pipelined"
+    );
+    samples.push(barriered);
+    samples.push(pipelined);
+
     // Hand-rolled JSON (no serde in the offline build).
-    let mut json = String::from("{\n  \"benchmark\": \"pipeline_smoke\",\n  \"samples\": [\n");
+    let mut json = String::from("{\n  \"benchmark\": \"pipeline_smoke\",\n");
+    json.push_str(&format!("  \"barrier_vs_pipelined\": {ratio:.4},\n"));
+    json.push_str("  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"seconds\": {:.6}, \"result\": {}}}{}\n",

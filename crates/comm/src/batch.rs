@@ -111,16 +111,19 @@ impl RowBatch {
         }
     }
 
-    /// Iterates copies of this batch's rows in chunks of at most
-    /// `rows_per_chunk` rows, without consuming the batch. Only one chunk is
-    /// materialised at a time — the streaming-shuffle counterpart of
-    /// [`RowBatch::split_into_chunks`].
-    pub fn chunked(&self, rows_per_chunk: usize) -> impl Iterator<Item = RowBatch> + '_ {
+    /// Consumes the batch, yielding its rows in chunks of at most
+    /// `rows_per_chunk` rows. When the whole batch fits in a single chunk it
+    /// is handed back *as-is* — no copy — so shuffling a small batch is
+    /// free; larger batches materialise one chunk at a time (the
+    /// streaming-shuffle counterpart of [`RowBatch::split_into_chunks`]).
+    pub fn chunked(self, rows_per_chunk: usize) -> Chunked {
         assert!(rows_per_chunk > 0);
-        let arity = self.arity;
-        self.data
-            .chunks(rows_per_chunk * arity)
-            .map(move |c| RowBatch::from_flat(arity, c.to_vec()))
+        Chunked {
+            arity: self.arity,
+            chunk_vals: rows_per_chunk * self.arity,
+            data: self.data,
+            offset: 0,
+        }
     }
 
     /// Splits this batch into chunks of at most `rows_per_chunk` rows.
@@ -150,6 +153,38 @@ impl RowBatch {
     /// Consumes the batch, returning the flat data.
     pub fn into_flat(self) -> Vec<VertexId> {
         self.data
+    }
+}
+
+/// Owning chunk iterator over a [`RowBatch`] (see [`RowBatch::chunked`]).
+#[derive(Debug)]
+pub struct Chunked {
+    arity: usize,
+    chunk_vals: usize,
+    data: Vec<VertexId>,
+    offset: usize,
+}
+
+impl Iterator for Chunked {
+    type Item = RowBatch;
+
+    fn next(&mut self) -> Option<RowBatch> {
+        if self.offset >= self.data.len() {
+            return None;
+        }
+        let remaining = self.data.len() - self.offset;
+        if self.offset == 0 && remaining <= self.chunk_vals {
+            // The batch fits in one chunk: hand its buffer back untouched.
+            self.offset = self.data.len();
+            return Some(RowBatch::from_flat(
+                self.arity,
+                std::mem::take(&mut self.data),
+            ));
+        }
+        let take = remaining.min(self.chunk_vals);
+        let chunk = self.data[self.offset..self.offset + take].to_vec();
+        self.offset += take;
+        Some(RowBatch::from_flat(self.arity, chunk))
     }
 }
 
@@ -199,6 +234,34 @@ mod tests {
         assert_eq!(chunks[3].len(), 1);
         let total: usize = chunks.iter().map(|c| c.len()).sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn chunked_yields_every_row_in_order() {
+        let b = RowBatch::from_flat(2, (0..20).collect());
+        let chunks: Vec<RowBatch> = b.chunked(3).collect();
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0].len(), 3);
+        assert_eq!(chunks[3].len(), 1);
+        let flat: Vec<u32> = chunks.iter().flat_map(|c| c.as_flat().to_vec()).collect();
+        assert_eq!(flat, (0..20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn chunked_single_chunk_reuses_the_buffer() {
+        let b = RowBatch::from_flat(2, (0..20).collect());
+        let ptr = b.as_flat().as_ptr();
+        let mut it = b.chunked(100);
+        let only = it.next().unwrap();
+        // The whole batch fits in one chunk: same allocation, no copy.
+        assert_eq!(only.as_flat().as_ptr(), ptr);
+        assert_eq!(only.len(), 10);
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn chunked_empty_batch_yields_nothing() {
+        assert_eq!(RowBatch::new(3).chunked(4).count(), 0);
     }
 
     #[test]

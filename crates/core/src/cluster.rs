@@ -1,7 +1,7 @@
 //! The public entry point: [`HugeCluster`].
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -16,11 +16,11 @@ use huge_plan::translate::{translate, Dataflow, SegmentSource};
 use huge_query::QueryGraph;
 
 use crate::config::{ClusterConfig, SinkMode};
-use crate::machine::{MachineState, SegmentPlan, SharedSegmentState, Terminal};
+use crate::machine::{MachineState, SegmentPlan, Terminal};
 use crate::memory::ClusterMemory;
 use crate::operators::ScanPool;
 use crate::report::{merge_cache_stats, RunReport};
-use crate::scheduler::SegmentQueues;
+use crate::scheduler::{RunShared, SegmentQueues, SegmentShared};
 use crate::{EngineError, Result};
 
 /// Size (in vertices) of the stealable scan chunks.
@@ -149,45 +149,59 @@ impl HugeCluster {
         // then pre-instantiate every join segment's PUSH-JOIN on each machine
         // so shuffled inputs stream into the builds as they arrive.
         let segment_plans = build_segment_plans(dataflow);
+        let epoch = Instant::now();
         for state in machines.iter_mut() {
-            state.prepare_run(&segment_plans);
+            state.prepare_run(&segment_plans, epoch);
         }
 
-        let start = Instant::now();
-        for plan in &segment_plans {
-            // Cross-machine shared state for this segment.
-            let scan_pools: Vec<ScanPool> = (0..k)
-                .map(|m| match &plan.segment.source {
-                    SegmentSource::Scan(_) => {
-                        ScanPool::new(self.partitions[m].local_vertices(), SCAN_CHUNK_VERTICES)
-                    }
-                    SegmentSource::Join(_) => ScanPool::empty(),
-                })
-                .collect();
-            let num_ops = 1 + plan.segment.extends.len();
-            let queues: Vec<Arc<SegmentQueues>> = (0..k)
-                .map(|m| {
-                    Arc::new(SegmentQueues::new(
-                        num_ops,
-                        self.config.output_queue_rows.max(1),
-                        Some(Arc::clone(&machines[m].memory)),
-                    ))
-                })
-                .collect();
-            let shared = SharedSegmentState {
-                scan_pools,
-                queues,
-                idle: (0..k).map(|_| AtomicBool::new(false)).collect(),
-                remaining: AtomicUsize::new(k),
-                aborted: AtomicBool::new(false),
-            };
+        // Pre-build every segment's cross-machine state (stealable scan
+        // pools, operator queues, end-of-stream counters) up front, so the
+        // pipelined scheduler never synchronises to set a segment up.
+        let shared_segments: Vec<SegmentShared> = segment_plans
+            .iter()
+            .map(|plan| {
+                let scan_pools: Vec<ScanPool> = (0..k)
+                    .map(|m| match &plan.segment.source {
+                        SegmentSource::Scan(_) => {
+                            ScanPool::new(self.partitions[m].local_vertices(), SCAN_CHUNK_VERTICES)
+                        }
+                        SegmentSource::Join(_) => ScanPool::empty(),
+                    })
+                    .collect();
+                let num_ops = 1 + plan.segment.extends.len();
+                let queues: Vec<Arc<SegmentQueues>> = (0..k)
+                    .map(|m| {
+                        Arc::new(SegmentQueues::new(
+                            num_ops,
+                            self.config.output_queue_rows.max(1),
+                            Some(Arc::clone(&machines[m].memory)),
+                        ))
+                    })
+                    .collect();
+                SegmentShared {
+                    scan_pools,
+                    queues,
+                    idle: (0..k).map(|_| AtomicBool::new(false)).collect(),
+                    remaining: AtomicUsize::new(k),
+                }
+            })
+            .collect();
+        let run_shared = RunShared::new(shared_segments);
 
+        let threads_spawned = AtomicUsize::new(0);
+        let start = Instant::now();
+        let run_result: Result<()> = if self.config.pipeline_segments {
+            // Barrier-free execution: one thread per machine for the whole
+            // run; each drives all segments through the dataflow scheduler.
             let mut outcome: Vec<Result<()>> = Vec::with_capacity(k);
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(k);
                 for state in machines.iter_mut() {
-                    let shared = &shared;
-                    handles.push(scope.spawn(move || state.run_segment(plan, shared, sink)));
+                    let run_shared = &run_shared;
+                    let segment_plans = &segment_plans;
+                    threads_spawned.fetch_add(1, Ordering::Relaxed);
+                    handles
+                        .push(scope.spawn(move || state.run_all(segment_plans, run_shared, sink)));
                 }
                 for handle in handles {
                     outcome.push(match handle.join() {
@@ -198,12 +212,42 @@ impl HugeCluster {
                     });
                 }
             });
-            for res in outcome {
-                res?;
+            collapse_outcomes(outcome)
+        } else {
+            // Historic barriered execution: machine threads are spawned and
+            // joined per segment (the escape hatch the `barrier` experiment
+            // quantifies).
+            let mut res = Ok(());
+            for (idx, plan) in segment_plans.iter().enumerate() {
+                let mut outcome: Vec<Result<()>> = Vec::with_capacity(k);
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(k);
+                    for state in machines.iter_mut() {
+                        let run_shared = &run_shared;
+                        threads_spawned.fetch_add(1, Ordering::Relaxed);
+                        handles.push(
+                            scope.spawn(move || state.run_segment(idx, plan, run_shared, sink)),
+                        );
+                    }
+                    for handle in handles {
+                        outcome.push(match handle.join() {
+                            Ok(res) => res,
+                            Err(_) => Err(EngineError::WorkerPanic(
+                                "machine thread panicked".to_string(),
+                            )),
+                        });
+                    }
+                });
+                res = collapse_outcomes(outcome);
+                if res.is_err() {
+                    break;
+                }
             }
-        }
+            res
+        };
         let compute_time = start.elapsed();
         let _ = std::fs::remove_dir_all(&spill_root);
+        run_result?;
 
         // Aggregate the report.
         let comm_total = comm_stats.total();
@@ -242,8 +286,31 @@ impl HugeCluster {
             peak_memory_bytes,
             cache,
             fetch_time,
+            pipelined: self.config.pipeline_segments,
+            machine_threads_spawned: threads_spawned.load(Ordering::Relaxed),
             machines: machine_reports,
         })
+    }
+}
+
+/// Collapses per-machine outcomes into one, preferring the root-cause error
+/// over the `Aborted` errors peers report when bailing out of a failed run.
+fn collapse_outcomes(outcome: Vec<Result<()>>) -> Result<()> {
+    let mut aborted: Option<EngineError> = None;
+    for res in outcome {
+        match res {
+            Ok(()) => {}
+            Err(e @ EngineError::Aborted(_)) => {
+                if aborted.is_none() {
+                    aborted = Some(e);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    match aborted {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 

@@ -1,5 +1,7 @@
 //! Engine configuration.
 
+use std::time::Duration;
+
 use huge_cache::CacheKind;
 use huge_comm::NetworkModel;
 
@@ -25,6 +27,29 @@ pub enum LoadBalance {
     /// RADS' region-group heuristic: scan input is assigned to workers in
     /// contiguous region groups (the paper's HUGE-RGP).
     RegionGroup,
+}
+
+/// What a [`FaultSpec`] injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The machine thread panics (exercises abort propagation).
+    Panic,
+    /// The machine sleeps for the given duration before executing the
+    /// segment (makes one machine a deterministic straggler).
+    Delay(Duration),
+}
+
+/// A chaos-testing hook: inject a fault on one machine at the start of one
+/// segment. Used by the test suite to make abort propagation and
+/// cross-segment overlap deterministic; `None` in production.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The machine the fault fires on.
+    pub machine: usize,
+    /// The segment whose start triggers it.
+    pub segment: usize,
+    /// What happens.
+    pub fault: Fault,
 }
 
 /// Configuration of a [`HugeCluster`](crate::HugeCluster).
@@ -61,6 +86,14 @@ pub struct ClusterConfig {
     /// Enable inter-machine work stealing (only meaningful with
     /// [`LoadBalance::WorkStealing`]).
     pub inter_machine_stealing: bool,
+    /// Execute segments without barriers (default): each machine thread is
+    /// spawned once per run and drives all segments by readiness, so a fast
+    /// machine moves on while a straggler finishes. `false` restores the
+    /// historic barriered execution (machine threads joined between
+    /// segments), the escape hatch the `barrier` experiment quantifies.
+    pub pipeline_segments: bool,
+    /// Chaos-testing hook; see [`FaultSpec`].
+    pub fault_injection: Option<FaultSpec>,
     /// Network model used to convert recorded traffic into the reported
     /// communication time `T_C`.
     pub network: NetworkModel,
@@ -82,6 +115,8 @@ impl ClusterConfig {
             join_buffer_bytes: 64 * 1024 * 1024,
             load_balance: LoadBalance::WorkStealing,
             inter_machine_stealing: true,
+            pipeline_segments: true,
+            fault_injection: None,
             network: NetworkModel::ten_gbps(machines.max(1)),
         }
     }
@@ -141,6 +176,22 @@ impl ClusterConfig {
         if lb != LoadBalance::WorkStealing {
             self.inter_machine_stealing = false;
         }
+        self
+    }
+
+    /// Enables or disables barrier-free cross-segment pipelining.
+    pub fn pipeline_segments(mut self, pipelined: bool) -> Self {
+        self.pipeline_segments = pipelined;
+        self
+    }
+
+    /// Installs a chaos-testing fault (see [`FaultSpec`]).
+    pub fn inject_fault(mut self, machine: usize, segment: usize, fault: Fault) -> Self {
+        self.fault_injection = Some(FaultSpec {
+            machine,
+            segment,
+            fault,
+        });
         self
     }
 
@@ -221,6 +272,26 @@ mod tests {
         // Tiny fractions are clamped to a sane minimum.
         let cfg = ClusterConfig::new(2).cache_fraction(0.0);
         assert_eq!(cfg.effective_cache_bytes(1000), 1024);
+    }
+
+    #[test]
+    fn pipelining_defaults_on_and_toggles() {
+        let cfg = ClusterConfig::new(2);
+        assert!(cfg.pipeline_segments);
+        assert!(cfg.fault_injection.is_none());
+        let cfg =
+            cfg.pipeline_segments(false)
+                .inject_fault(1, 0, Fault::Delay(Duration::from_millis(5)));
+        assert!(!cfg.pipeline_segments);
+        assert_eq!(
+            cfg.fault_injection,
+            Some(FaultSpec {
+                machine: 1,
+                segment: 0,
+                fault: Fault::Delay(Duration::from_millis(5)),
+            })
+        );
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod report;
 pub mod scheduler;
 
 pub use cluster::HugeCluster;
-pub use config::{ClusterConfig, LoadBalance, SinkMode};
+pub use config::{ClusterConfig, Fault, FaultSpec, LoadBalance, SinkMode};
 pub use exec::{BatchOperator, OpContext, OpPoll};
 pub use report::{MachineReport, RunReport};
 
@@ -62,6 +62,8 @@ pub enum EngineError {
     Config(String),
     /// A worker thread panicked.
     WorkerPanic(String),
+    /// A peer machine failed, aborting the run.
+    Aborted(String),
     /// Spilling to disk failed.
     Io(std::io::Error),
 }
@@ -73,6 +75,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Graph(e) => write!(f, "graph error: {e}"),
             EngineError::Config(msg) => write!(f, "configuration error: {msg}"),
             EngineError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            EngineError::Aborted(msg) => write!(f, "run aborted: {msg}"),
             EngineError::Io(e) => write!(f, "io error: {e}"),
         }
     }

@@ -1,17 +1,23 @@
 //! The per-machine runtime: segment execution under the BFS/DFS-adaptive
-//! scheduler, the segment terminals (`SINK` and the `PUSH-JOIN` shuffle), and
-//! inter-machine work stealing.
+//! scheduler, the segment terminals (`SINK` and the `PUSH-JOIN` shuffle),
+//! inter-machine work stealing, and the per-machine *dataflow scheduler*
+//! that drives all segments of a run from one thread.
 //!
-//! The runtime is *pipelined*: join inputs shuffled during a producing
-//! segment are absorbed into pre-instantiated [`PushJoin`] operators as they
-//! arrive ([`MachineState::absorb_inbox`]), so shuffle and build phases
-//! overlap and the bounded router inboxes never need to hold a segment's
-//! whole output. When a machine has nothing to compute it *parks* on the
-//! router's notify handle instead of spinning.
+//! The runtime is *pipelined* at two levels. Inside a segment, join inputs
+//! shuffled during a producing segment are absorbed into pre-instantiated
+//! [`PushJoin`] operators as they arrive ([`MachineState::absorb_inbox`]), so
+//! shuffle and build phases overlap and the bounded router inboxes never need
+//! to hold a segment's whole output. Across segments
+//! ([`MachineState::run_all`]), each machine thread is spawned once per run
+//! and picks the next segment by readiness (see
+//! [`crate::scheduler::RunShared`]), so a fast machine moves on to the next
+//! runnable segment while a straggler finishes — there is no per-segment
+//! barrier. When a machine has nothing to compute it *parks* on the router's
+//! notify handle instead of spinning.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use huge_cache::PullCache;
@@ -21,20 +27,19 @@ use huge_plan::translate::{Segment, SegmentSource};
 use huge_query::QueryVertex;
 use std::sync::Arc;
 
-use crate::config::{ClusterConfig, SinkMode};
+use crate::config::{ClusterConfig, Fault, SinkMode};
 use crate::exec::{
     partition_by_key, BatchOperator, OpContext, OpPoll, PullExtend, PushJoin, ScanSource,
 };
 use crate::join::{JoinSide, MemoryTrackerHandle};
 use crate::memory::MemoryTracker;
-use crate::operators::ScanPool;
 use crate::pool::WorkerPool;
 use crate::report::MachineReport;
-use crate::scheduler::SegmentQueues;
+use crate::scheduler::{RunShared, SegmentShared, SegmentState};
 use crate::{EngineError, Result};
 
-/// How long a machine parks on the router before re-checking termination
-/// conditions (idle flags, segment completion) that arrive without data.
+/// How long a machine parks on the router before re-checking conditions that
+/// change without data arriving (idle flags, segment completion, aborts).
 const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 
 /// What happens to a segment's output rows.
@@ -64,39 +69,10 @@ pub struct SegmentPlan {
     pub producer_arities: Option<(usize, usize)>,
 }
 
-/// Cross-machine shared state for one segment: every machine's stealable
-/// scan pool and operator queues, plus the flags used for termination.
-pub struct SharedSegmentState {
-    /// One scan pool per machine (empty for join segments).
-    pub scan_pools: Vec<ScanPool>,
-    /// One set of operator queues per machine.
-    pub queues: Vec<Arc<SegmentQueues>>,
-    /// Idle flags used by the work-stealing termination protocol.
-    pub idle: Vec<AtomicBool>,
-    /// Machines still executing this segment. Completed machines linger,
-    /// absorbing their inbox, until this reaches zero — so a producer blocked
-    /// on a bounded inbox is always eventually drained.
-    pub remaining: AtomicUsize,
-    /// Set when any machine fails (or panics) during this segment: peers
-    /// blocked on backpressure, stealing, or the end-of-segment linger bail
-    /// out instead of waiting for a machine that will never drain them.
-    pub aborted: AtomicBool,
-}
-
-impl SharedSegmentState {
-    fn abort(&self) {
-        self.aborted.store(true, Ordering::SeqCst);
-    }
-
-    fn is_aborted(&self) -> bool {
-        self.aborted.load(Ordering::SeqCst)
-    }
-}
-
-/// Sets the segment's abort flag if the holder unwinds (a panicking machine
-/// must not leave its peers lingering on the `remaining` barrier forever;
-/// peers poll the flag on their park timeout).
-struct AbortOnPanic<'a>(&'a SharedSegmentState);
+/// Sets the run's abort flag if the holder unwinds (a panicking machine must
+/// not leave its peers parked forever; peers poll the flag on their park
+/// timeout).
+struct AbortOnPanic<'a>(&'a RunShared);
 
 impl Drop for AbortOnPanic<'_> {
     fn drop(&mut self) {
@@ -135,6 +111,24 @@ impl ChainSource {
     }
 }
 
+/// One segment's instantiated operator chain on one machine. Under the
+/// pipelined scheduler a chain persists across scheduler visits (a draining
+/// segment is revisited to steal from peers) until the segment finishes.
+struct SegmentChain {
+    source: ChainSource,
+    extends: Vec<PullExtend>,
+}
+
+/// The outcome of one stealing attempt on a draining segment.
+enum StealOutcome {
+    /// Work was stolen and executed; try again.
+    Stole,
+    /// Every machine is idle on the segment (or the run aborted): finish it.
+    AllIdle,
+    /// Nothing stealable right now, but peers are still busy — revisit.
+    Pending,
+}
+
 /// The state a machine carries across segments of one run.
 pub struct MachineState {
     /// This machine's id.
@@ -164,10 +158,17 @@ pub struct MachineState {
     pub worker_busy: Vec<Duration>,
     /// Total time spent in `PULL-EXTEND` fetch stages.
     pub fetch_time: Duration,
-    /// Total wall-clock time this machine spent executing segments.
+    /// Total active time this machine spent executing segments.
     pub compute_time: Duration,
     /// Batches obtained through inter-machine stealing.
     pub batches_stolen: u64,
+    /// Active execution time per segment (indexed by segment id).
+    segment_busy: Vec<Duration>,
+    /// First-activity and completion offsets of each segment relative to the
+    /// run epoch (`None` until the machine starts the segment).
+    segment_spans: Vec<Option<(Duration, Duration)>>,
+    /// The shared instant all machines measure spans against.
+    run_epoch: Instant,
     /// Pre-instantiated joiners for every `PUSH-JOIN` segment of the current
     /// run, keyed by the join segment's id. Shuffled inputs stream into them
     /// as they arrive (replacing the old consumer-side envelope stash).
@@ -208,6 +209,9 @@ impl MachineState {
             fetch_time: Duration::ZERO,
             compute_time: Duration::ZERO,
             batches_stolen: 0,
+            segment_busy: Vec::new(),
+            segment_spans: Vec::new(),
+            run_epoch: Instant::now(),
             pending_joins: HashMap::new(),
             join_feeds: HashMap::new(),
         }
@@ -215,8 +219,12 @@ impl MachineState {
 
     /// Prepares a run: instantiates one [`PushJoin`] per join segment and
     /// the envelope routing table, so inbound shuffle data can be absorbed
-    /// the moment it arrives — during the *producing* segment.
-    pub fn prepare_run(&mut self, plans: &[SegmentPlan]) {
+    /// the moment it arrives — during the *producing* segment. `epoch` is
+    /// the shared instant per-segment spans are measured against.
+    pub fn prepare_run(&mut self, plans: &[SegmentPlan], epoch: Instant) {
+        self.run_epoch = epoch;
+        self.segment_busy = vec![Duration::ZERO; plans.len()];
+        self.segment_spans = vec![None; plans.len()];
         self.pending_joins.clear();
         self.join_feeds.clear();
         for plan in plans {
@@ -254,6 +262,8 @@ impl MachineState {
             peak_memory_bytes: self.memory.peak(),
             comm: self.rpc.stats().machine(self.machine).snapshot(),
             batches_stolen: self.batches_stolen,
+            segment_busy: self.segment_busy.clone(),
+            segment_spans: self.segment_spans.clone(),
         }
     }
 
@@ -272,7 +282,7 @@ impl MachineState {
     /// Moves every queued inbound envelope into the joiner it feeds. This is
     /// the consumer half of the streaming shuffle: it runs opportunistically
     /// during chain execution, while waiting for space on a full destination
-    /// inbox, and while lingering at the end of a segment.
+    /// inbox, and whenever the dataflow scheduler has nothing runnable.
     fn absorb_inbox(&mut self) -> Result<()> {
         while let Some(env) = self.router.try_recv() {
             let &(join_id, side) = self.join_feeds.get(&env.segment).ok_or_else(|| {
@@ -295,23 +305,23 @@ impl MachineState {
     /// Pushes one shuffle batch with backpressure: while the destination
     /// inbox is full, absorb the own inbox (so peers blocked on *us* make
     /// progress — this is what keeps the cooperative protocol deadlock-free)
-    /// and park briefly for space. Bails out when a peer aborted the
-    /// segment (a failed machine will never drain its inbox).
+    /// and park briefly for space. Bails out when a peer aborted the run
+    /// (a failed machine will never drain its inbox).
     fn push_with_backpressure(
         &mut self,
         dest: MachineId,
         segment: usize,
         batch: RowBatch,
-        shared: &SharedSegmentState,
+        run: &RunShared,
     ) -> Result<()> {
         let mut pending = batch;
         loop {
             match self.router.try_push(dest, segment, pending) {
                 Ok(()) => return Ok(()),
                 Err(back) => {
-                    if shared.is_aborted() {
-                        return Err(EngineError::Config(
-                            "segment aborted by a failed peer machine".into(),
+                    if run.is_aborted() {
+                        return Err(EngineError::Aborted(
+                            "shuffle target lost to a failed peer machine".into(),
                         ));
                     }
                     pending = back;
@@ -322,56 +332,49 @@ impl MachineState {
         }
     }
 
-    /// Runs one segment to completion (own work, then stolen work, then a
-    /// lingering absorb until every machine has finished the segment).
-    ///
-    /// Whatever the outcome, this machine's slot on the segment barrier is
-    /// released — an erroring (or panicking) machine flags the segment as
-    /// aborted so its peers bail out of backpressure, stealing and linger
-    /// loops instead of waiting for it forever.
-    pub fn run_segment(
-        &mut self,
-        plan: &SegmentPlan,
-        shared: &SharedSegmentState,
-        sink: SinkMode,
-    ) -> Result<()> {
-        let panic_guard = AbortOnPanic(shared);
-        let result = self.run_segment_inner(plan, shared, sink);
-        if result.is_err() {
-            shared.abort();
-        }
-        // Release our barrier slot and nudge parked peers to re-check it.
-        shared.remaining.fetch_sub(1, Ordering::SeqCst);
-        for m in 0..self.router.num_machines() {
-            self.router.wake(m);
-        }
-        // Linger: keep absorbing the inbox until every machine is done with
-        // this segment, so producers blocked on our bounded inbox always
-        // drain. The machine parks on the router between sweeps.
-        let linger = (|| -> Result<()> {
-            while shared.remaining.load(Ordering::SeqCst) > 0 && !shared.is_aborted() {
-                self.absorb_inbox()?;
-                self.router.wait_data(PARK_TIMEOUT);
+    /// Fires the configured chaos fault if it targets this machine/segment.
+    fn maybe_inject_fault(&self, segment: usize) {
+        if let Some(spec) = self.config.fault_injection {
+            if spec.machine == self.machine && spec.segment == segment {
+                match spec.fault {
+                    Fault::Delay(d) => std::thread::sleep(d),
+                    Fault::Panic => panic!(
+                        "injected fault: machine {} panics in segment {segment}",
+                        self.machine
+                    ),
+                }
             }
-            self.absorb_inbox()
-        })();
-        if linger.is_err() {
-            shared.abort();
         }
-        drop(panic_guard);
-        result.and(linger)
     }
 
-    /// The fallible body of [`MachineState::run_segment`]: instantiates the
-    /// segment's operators from the shared execution substrate and drives
-    /// them with the BFS/DFS-adaptive scheduler below.
-    fn run_segment_inner(
+    /// Records the first time this machine touches segment `idx`.
+    fn note_segment_start(&mut self, idx: usize) {
+        if let Some(slot) = self.segment_spans.get_mut(idx) {
+            if slot.is_none() {
+                let now = self.run_epoch.elapsed();
+                *slot = Some((now, now));
+            }
+        }
+    }
+
+    /// Accumulates active time spent on segment `idx`.
+    fn record_segment_busy(&mut self, idx: usize, elapsed: Duration) {
+        if let Some(busy) = self.segment_busy.get_mut(idx) {
+            *busy += elapsed;
+        }
+        self.compute_time += elapsed;
+    }
+
+    /// Instantiates a segment's operator chain from the shared execution
+    /// substrate. For join segments the producers are globally done (the
+    /// readiness policy guarantees it), so any final envelopes still queued
+    /// are absorbed and the build sealed.
+    fn build_chain(
         &mut self,
         plan: &SegmentPlan,
-        shared: &SharedSegmentState,
+        seg: &SegmentShared,
         sink: SinkMode,
-    ) -> Result<()> {
-        let start = Instant::now();
+    ) -> Result<SegmentChain> {
         let mut extends: Vec<PullExtend> = plan
             .segment
             .extends
@@ -386,14 +389,12 @@ impl MachineState {
         if count_only {
             extends.last_mut().expect("non-empty").set_count_only(true);
         }
-        let mut source = match &plan.segment.source {
+        let source = match &plan.segment.source {
             SegmentSource::Scan(scan) => ChainSource::Scan(ScanSource::new(
                 scan.clone(),
-                shared.scan_pools[self.machine].clone(),
+                seg.scan_pools[self.machine].clone(),
             )),
             SegmentSource::Join(_) => {
-                // Producers completed in earlier segments (and their final
-                // envelopes may still sit in the inbox): absorb, then seal.
                 self.absorb_inbox()?;
                 let mut join = self.pending_joins.remove(&plan.segment.id).ok_or_else(|| {
                     EngineError::Config(format!(
@@ -406,11 +407,13 @@ impl MachineState {
                 ChainSource::Join(Box::new(join))
             }
         };
-        self.run_chain(&mut source, &mut extends, plan, shared, sink)?;
-        if matches!(source, ChainSource::Scan(_)) && self.config.inter_machine_stealing {
-            self.steal_loop(&mut source, &mut extends, plan, shared, sink)?;
-        }
-        for ext in &mut extends {
+        Ok(SegmentChain { source, extends })
+    }
+
+    /// Harvests a finished chain's timings and counters and stamps the
+    /// segment's completion time.
+    fn finish_chain(&mut self, idx: usize, chain: &mut SegmentChain) {
+        for ext in &mut chain.extends {
             let (fetch, busy) = ext.take_timings();
             self.fetch_time += fetch;
             for (w, d) in busy.iter().enumerate() {
@@ -420,22 +423,230 @@ impl MachineState {
             }
             self.matches += ext.take_count();
         }
-        self.compute_time += start.elapsed();
+        if let Some(span) = self.segment_spans.get_mut(idx) {
+            let end = self.run_epoch.elapsed();
+            let start = span.map(|(s, _)| s).unwrap_or(end);
+            *span = Some((start, end));
+        }
+    }
+
+    /// Releases this machine's end-of-stream slot for segment `idx` and
+    /// nudges parked peers to re-check readiness: once every machine has
+    /// released, the segment's shuffle output is complete and consuming
+    /// joins may seal.
+    fn release_segment(&mut self, idx: usize, run: &RunShared) {
+        run.segments[idx].remaining.fetch_sub(1, Ordering::SeqCst);
+        for m in 0..self.router.num_machines() {
+            self.router.wake(m);
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // The per-machine dataflow scheduler (pipelined execution)
+    // -----------------------------------------------------------------------
+
+    /// Drives *all* segments of the run to completion from this machine's
+    /// single thread: the barrier-free replacement for per-segment
+    /// spawn/join. Segments advance through
+    /// [`SegmentState`](crate::scheduler::SegmentState); the next segment is
+    /// picked deepest-first among the runnable ones (DFS bias — drain
+    /// consumers before growing producers). Any failure (or panic) aborts
+    /// the whole run and unparks every peer.
+    pub fn run_all(
+        &mut self,
+        plans: &[SegmentPlan],
+        run: &RunShared,
+        sink: SinkMode,
+    ) -> Result<()> {
+        let panic_guard = AbortOnPanic(run);
+        let result = self.run_all_inner(plans, run, sink);
+        if result.is_err() {
+            run.abort();
+        }
+        // Nudge parked peers so they re-check the abort flag and the
+        // readiness counters promptly.
+        for m in 0..self.router.num_machines() {
+            self.router.wake(m);
+        }
+        drop(panic_guard);
+        result
+    }
+
+    fn run_all_inner(
+        &mut self,
+        plans: &[SegmentPlan],
+        run: &RunShared,
+        sink: SinkMode,
+    ) -> Result<()> {
+        let n = plans.len();
+        let k = self.router.num_machines();
+        let mut states = vec![SegmentState::NotStarted; n];
+        let mut chains: Vec<Option<SegmentChain>> = (0..n).map(|_| None).collect();
+        let mut done = 0usize;
+        while done < n {
+            if run.is_aborted() {
+                return Err(EngineError::Aborted("a peer machine failed".into()));
+            }
+            // Keep the streaming shuffle flowing whatever segment runs next.
+            self.absorb_inbox()?;
+            let mut progressed = false;
+            for idx in (0..n).rev() {
+                let plan = &plans[idx];
+                let seg = &run.segments[idx];
+                match states[idx] {
+                    SegmentState::Done => continue,
+                    SegmentState::Running => {
+                        unreachable!("Running is transient within one scheduler visit")
+                    }
+                    SegmentState::NotStarted => {
+                        if !run.ready(&plan.segment.dependencies()) {
+                            continue;
+                        }
+                        states[idx] = SegmentState::Running;
+                        let start = Instant::now();
+                        self.note_segment_start(idx);
+                        self.maybe_inject_fault(idx);
+                        let mut chain = self.build_chain(plan, seg, sink)?;
+                        self.run_chain(&mut chain, plan, seg, run, sink)?;
+                        let drains = k > 1
+                            && self.config.inter_machine_stealing
+                            && matches!(chain.source, ChainSource::Scan(_));
+                        if drains {
+                            states[idx] = SegmentState::Draining;
+                            chains[idx] = Some(chain);
+                        } else {
+                            self.finish_chain(idx, &mut chain);
+                            self.release_segment(idx, run);
+                            states[idx] = SegmentState::Done;
+                            done += 1;
+                        }
+                        self.record_segment_busy(idx, start.elapsed());
+                        progressed = true;
+                        break;
+                    }
+                    SegmentState::Draining => {
+                        let mut chain = chains[idx]
+                            .take()
+                            .expect("draining segments keep their chain");
+                        let start = Instant::now();
+                        match self.steal_once(&mut chain, plan, seg, run, sink)? {
+                            StealOutcome::Stole => {
+                                chains[idx] = Some(chain);
+                                self.record_segment_busy(idx, start.elapsed());
+                                progressed = true;
+                                break;
+                            }
+                            StealOutcome::AllIdle => {
+                                self.finish_chain(idx, &mut chain);
+                                self.release_segment(idx, run);
+                                states[idx] = SegmentState::Done;
+                                done += 1;
+                                self.record_segment_busy(idx, start.elapsed());
+                                progressed = true;
+                                break;
+                            }
+                            StealOutcome::Pending => {
+                                // Peers still own the segment's remaining
+                                // work; fall through to shallower segments.
+                                chains[idx] = Some(chain);
+                            }
+                        }
+                    }
+                }
+            }
+            if !progressed && done < n {
+                // Nothing runnable: park on the inbox (absorbing whatever
+                // arrives) until a peer finishes a segment or pushes data.
+                self.absorb_inbox()?;
+                self.router.wait_data(PARK_TIMEOUT);
+            }
+        }
         Ok(())
     }
+
+    // -----------------------------------------------------------------------
+    // Barriered execution (the `pipeline_segments = false` escape hatch)
+    // -----------------------------------------------------------------------
+
+    /// Runs one segment to completion (own work, then stolen work, then a
+    /// lingering absorb until every machine has finished the segment).
+    ///
+    /// Whatever the outcome, this machine's slot on the segment's
+    /// end-of-stream counter is released — an erroring (or panicking)
+    /// machine flags the run as aborted so its peers bail out of
+    /// backpressure, stealing and linger loops instead of waiting forever.
+    pub fn run_segment(
+        &mut self,
+        idx: usize,
+        plan: &SegmentPlan,
+        run: &RunShared,
+        sink: SinkMode,
+    ) -> Result<()> {
+        let seg = &run.segments[idx];
+        let panic_guard = AbortOnPanic(run);
+        let result = self.run_segment_inner(idx, plan, seg, run, sink);
+        if result.is_err() {
+            run.abort();
+        }
+        // Release our end-of-stream slot and nudge parked peers.
+        self.release_segment(idx, run);
+        // Linger: keep absorbing the inbox until every machine is done with
+        // this segment, so producers blocked on our bounded inbox always
+        // drain. The machine parks on the router between sweeps.
+        let linger = (|| -> Result<()> {
+            while !seg.is_done() && !run.is_aborted() {
+                self.absorb_inbox()?;
+                self.router.wait_data(PARK_TIMEOUT);
+            }
+            self.absorb_inbox()
+        })();
+        if linger.is_err() {
+            run.abort();
+        }
+        drop(panic_guard);
+        result.and(linger)
+    }
+
+    /// The fallible body of [`MachineState::run_segment`]: instantiates the
+    /// segment's operators and drives them with the BFS/DFS-adaptive
+    /// scheduler below, then steals until the cluster is idle.
+    fn run_segment_inner(
+        &mut self,
+        idx: usize,
+        plan: &SegmentPlan,
+        seg: &SegmentShared,
+        run: &RunShared,
+        sink: SinkMode,
+    ) -> Result<()> {
+        let start = Instant::now();
+        self.note_segment_start(idx);
+        self.maybe_inject_fault(idx);
+        let mut chain = self.build_chain(plan, seg, sink)?;
+        self.run_chain(&mut chain, plan, seg, run, sink)?;
+        if matches!(chain.source, ChainSource::Scan(_)) && self.config.inter_machine_stealing {
+            self.steal_loop(&mut chain, plan, seg, run, sink)?;
+        }
+        self.finish_chain(idx, &mut chain);
+        self.record_segment_busy(idx, start.elapsed());
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------------
+    // Shared chain execution and work stealing
+    // -----------------------------------------------------------------------
 
     /// The BFS/DFS-adaptive scheduling loop (Algorithm 5) over this
     /// segment's operator chain: source (scan or join), extends, terminal.
     fn run_chain(
         &mut self,
-        source: &mut ChainSource,
-        extends: &mut [PullExtend],
+        chain: &mut SegmentChain,
         plan: &SegmentPlan,
-        shared: &SharedSegmentState,
+        seg: &SegmentShared,
+        run: &RunShared,
         sink: SinkMode,
     ) -> Result<()> {
-        let queues = Arc::clone(&shared.queues[self.machine]);
-        let num_extends = extends.len();
+        let queues = Arc::clone(&seg.queues[self.machine]);
+        let num_extends = chain.extends.len();
         // Operator indices: 0 = source, 1..=num_extends = extends,
         // num_extends + 1 = terminal.
         let terminal_idx = num_extends + 1;
@@ -447,7 +658,7 @@ impl MachineState {
                 self.absorb_inbox()?;
             }
             let has_input = match current {
-                0 => source.has_more(),
+                0 => chain.source.has_more(),
                 i if i == terminal_idx => !queues.queue(num_extends).is_empty(),
                 i => !queues.queue(i - 1).is_empty(),
             };
@@ -463,7 +674,7 @@ impl MachineState {
                 // Backtrack only while some upstream operator still has work;
                 // otherwise keep moving towards the terminal (and stop at the
                 // terminal once the whole chain has drained).
-                let upstream_has_work = source.has_more()
+                let upstream_has_work = chain.source.has_more()
                     || (0..current.saturating_sub(1)).any(|i| !queues.queue(i).is_empty());
                 if upstream_has_work {
                     current -= 1;
@@ -476,7 +687,7 @@ impl MachineState {
             }
             if current == terminal_idx {
                 while let Some(batch) = queues.queue(num_extends).pop() {
-                    self.consume_terminal(plan, &batch, sink, shared)?;
+                    self.consume_terminal(plan, &batch, sink, run)?;
                 }
                 current -= 1;
                 continue;
@@ -486,12 +697,12 @@ impl MachineState {
             loop {
                 let produced: Option<RowBatch> = if current == 0 {
                     let ctx = self.op_context();
-                    source.poll(&ctx)?
+                    chain.source.poll(&ctx)?
                 } else {
                     match queues.queue(current - 1).pop() {
                         Some(input) => {
                             let ctx = self.op_context();
-                            let op = &mut extends[current - 1];
+                            let op = &mut chain.extends[current - 1];
                             op.push_input(input, &ctx)?;
                             match op.poll_next(&ctx)? {
                                 OpPoll::Ready(batch) => Some(batch),
@@ -521,7 +732,7 @@ impl MachineState {
         plan: &SegmentPlan,
         batch: &RowBatch,
         sink: SinkMode,
-        shared: &SharedSegmentState,
+        run: &RunShared,
     ) -> Result<()> {
         match &plan.terminal {
             Terminal::Sink => {
@@ -547,83 +758,103 @@ impl MachineState {
                     .into_iter()
                     .enumerate()
                 {
-                    self.push_with_backpressure(dest, plan.segment.id, out, shared)?;
+                    self.push_with_backpressure(dest, plan.segment.id, out, run)?;
                 }
             }
         }
         Ok(())
     }
 
-    /// Inter-machine work stealing: once the own work is exhausted, steal
-    /// scan chunks or queued batches from other machines until every machine
-    /// is idle (§5.3). While there is nothing to steal the machine *parks*
-    /// on its router inbox (absorbing any arriving shuffle data) instead of
-    /// busy-spinning.
-    fn steal_loop(
+    /// One inter-machine stealing attempt on a draining scan segment
+    /// (§5.3): steal scan chunks or queued batches from a peer and run the
+    /// chain on them, report that every machine is idle, or report that
+    /// peers are still busy (so the dataflow scheduler can visit another
+    /// segment instead of blocking).
+    fn steal_once(
         &mut self,
-        source: &mut ChainSource,
-        extends: &mut [PullExtend],
+        chain: &mut SegmentChain,
         plan: &SegmentPlan,
-        shared: &SharedSegmentState,
+        seg: &SegmentShared,
+        run: &RunShared,
         sink: SinkMode,
-    ) -> Result<()> {
-        let k = shared.queues.len();
+    ) -> Result<StealOutcome> {
+        let k = seg.queues.len();
         if k <= 1 {
-            return Ok(());
+            return Ok(StealOutcome::AllIdle);
         }
-        loop {
-            shared.idle[self.machine].store(true, Ordering::SeqCst);
-            let mut stolen_any = false;
-            for offset in 1..k {
-                let victim = (self.machine + offset) % k;
-                // Prefer stealing unscanned vertices (most work remaining).
-                let chunks = shared.scan_pools[victim].steal_half();
-                if !chunks.is_empty() {
-                    let bytes: u64 = chunks
-                        .iter()
-                        .map(|c| (c.len() * std::mem::size_of::<u32>()) as u64)
-                        .sum();
-                    self.rpc.record_steal(self.machine, bytes);
-                    self.batches_stolen += chunks.len() as u64;
-                    shared.scan_pools[self.machine].add_chunks(chunks);
-                    stolen_any = true;
-                    break;
-                }
-                // Otherwise steal buffered batches from the victim's queues,
-                // upstream-most first (they carry the most remaining work).
-                // `steal_into` transfers the memory accounting with the
-                // batches, so cluster-wide `current()` stays conserved.
-                for op in 0..shared.queues[victim].len() {
-                    let (batches, bytes) = shared.queues[victim]
-                        .queue(op)
-                        .steal_into(shared.queues[self.machine].queue(op));
-                    if batches == 0 {
-                        continue;
-                    }
-                    self.rpc.record_steal(self.machine, bytes);
-                    self.batches_stolen += batches;
-                    stolen_any = true;
-                    break;
-                }
-                if stolen_any {
-                    break;
-                }
-            }
-            if stolen_any {
-                shared.idle[self.machine].store(false, Ordering::SeqCst);
-                self.run_chain(source, extends, plan, shared, sink)?;
-                continue;
-            }
-            // Nothing to steal: finish once every machine is idle (or a
-            // failed peer aborted the segment — it will never go idle);
-            // until then park on the inbox (waking for data to absorb).
-            if shared.idle.iter().all(|f| f.load(Ordering::SeqCst)) || shared.is_aborted() {
+        // Drop the idle flag *before* scanning for work: the instant every
+        // flag is set doubles as the segment's end-of-stream
+        // ([`SegmentShared::is_done`]), so a machine must never hold (or be
+        // acquiring) work while it advertises idleness.
+        seg.idle[self.machine].store(false, Ordering::SeqCst);
+        let mut stolen_any = false;
+        for offset in 1..k {
+            let victim = (self.machine + offset) % k;
+            // Prefer stealing unscanned vertices (most work remaining).
+            let chunks = seg.scan_pools[victim].steal_half();
+            if !chunks.is_empty() {
+                let bytes: u64 = chunks
+                    .iter()
+                    .map(|c| (c.len() * std::mem::size_of::<u32>()) as u64)
+                    .sum();
+                self.rpc.record_steal(self.machine, bytes);
+                self.batches_stolen += chunks.len() as u64;
+                seg.scan_pools[self.machine].add_chunks(chunks);
+                stolen_any = true;
                 break;
             }
-            self.absorb_inbox()?;
-            self.router.wait_data(PARK_TIMEOUT);
+            // Otherwise steal buffered batches from the victim's queues,
+            // upstream-most first (they carry the most remaining work).
+            // `steal_into` transfers the memory accounting with the
+            // batches, so cluster-wide `current()` stays conserved.
+            for op in 0..seg.queues[victim].len() {
+                let (batches, bytes) = seg.queues[victim]
+                    .queue(op)
+                    .steal_into(seg.queues[self.machine].queue(op));
+                if batches == 0 {
+                    continue;
+                }
+                self.rpc.record_steal(self.machine, bytes);
+                self.batches_stolen += batches;
+                stolen_any = true;
+                break;
+            }
+            if stolen_any {
+                break;
+            }
         }
-        Ok(())
+        if stolen_any {
+            self.run_chain(chain, plan, seg, run, sink)?;
+            return Ok(StealOutcome::Stole);
+        }
+        seg.idle[self.machine].store(true, Ordering::SeqCst);
+        if seg.idle.iter().all(|f| f.load(Ordering::SeqCst)) || run.is_aborted() {
+            return Ok(StealOutcome::AllIdle);
+        }
+        Ok(StealOutcome::Pending)
+    }
+
+    /// The barriered-mode stealing loop: steal until every machine is idle,
+    /// parking on the inbox (and absorbing arriving shuffle data) while
+    /// there is nothing to take.
+    fn steal_loop(
+        &mut self,
+        chain: &mut SegmentChain,
+        plan: &SegmentPlan,
+        seg: &SegmentShared,
+        run: &RunShared,
+        sink: SinkMode,
+    ) -> Result<()> {
+        loop {
+            match self.steal_once(chain, plan, seg, run, sink)? {
+                StealOutcome::Stole => continue,
+                StealOutcome::AllIdle => return Ok(()),
+                StealOutcome::Pending => {
+                    self.absorb_inbox()?;
+                    self.router.wait_data(PARK_TIMEOUT);
+                }
+            }
+        }
     }
 }
 

@@ -23,6 +23,15 @@ pub struct MachineReport {
     pub comm: CommSnapshot,
     /// Number of batches this machine stole from other machines.
     pub batches_stolen: u64,
+    /// Active execution time per segment on this machine (indexed by
+    /// segment id).
+    pub segment_busy: Vec<Duration>,
+    /// First-activity and completion offsets of each segment relative to the
+    /// run's start (`None` when the machine never reached the segment, e.g.
+    /// on an aborted run). Under barriered execution no segment's start can
+    /// precede another segment's end on any machine; under the pipelined
+    /// scheduler the spans of different segments overlap.
+    pub segment_spans: Vec<Option<(Duration, Duration)>>,
 }
 
 /// The result of running one query on the cluster.
@@ -52,6 +61,13 @@ pub struct RunReport {
     /// Time spent in the fetch stage of `PULL-EXTEND` (the `t_f` reported in
     /// Table 5 to bound the two-stage synchronisation overhead).
     pub fetch_time: Duration,
+    /// `true` when segments executed without barriers (the per-machine
+    /// dataflow scheduler); `false` under the barriered escape hatch.
+    pub pipelined: bool,
+    /// Machine threads spawned for this run: `k` when pipelined, `k ×
+    /// segments` under barriers — the regression handle for "machine threads
+    /// are spawned once per run".
+    pub machine_threads_spawned: usize,
     /// Per-machine breakdowns.
     pub machines: Vec<MachineReport>,
 }
@@ -85,6 +101,34 @@ impl RunReport {
             .iter()
             .flat_map(|m| m.worker_busy.iter())
             .sum()
+    }
+
+    /// A lower bound on the wall-clock a *barriered* execution of the same
+    /// per-machine work would need: the sum over segments of the slowest
+    /// machine's busy time on that segment (under barriers every machine
+    /// must clear a segment before any machine may start the next).
+    pub fn barrier_bound(&self) -> Duration {
+        let segments = self
+            .machines
+            .iter()
+            .map(|m| m.segment_busy.len())
+            .max()
+            .unwrap_or(0);
+        (0..segments)
+            .map(|s| {
+                self.machines
+                    .iter()
+                    .map(|m| m.segment_busy.get(s).copied().unwrap_or_default())
+                    .max()
+                    .unwrap_or_default()
+            })
+            .sum()
+    }
+
+    /// Wall-clock the pipelined scheduler saved versus the barriered lower
+    /// bound (zero for single-segment plans or barriered runs).
+    pub fn overlap_saved(&self) -> Duration {
+        self.barrier_bound().saturating_sub(self.compute_time)
     }
 
     /// Throughput in matches per second of total time (Exp-3, Table 4).
@@ -169,6 +213,28 @@ mod tests {
         };
         assert!(report.worker_time_stddev() > 3.0);
         assert_eq!(report.total_worker_time(), Duration::from_secs(8));
+    }
+
+    #[test]
+    fn barrier_bound_sums_per_segment_maxima() {
+        let report = RunReport {
+            compute_time: Duration::from_secs(4),
+            machines: vec![
+                MachineReport {
+                    segment_busy: vec![Duration::from_secs(3), Duration::from_secs(1)],
+                    ..Default::default()
+                },
+                MachineReport {
+                    segment_busy: vec![Duration::from_secs(1), Duration::from_secs(2)],
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        // Barriered: max(3, 1) + max(1, 2) = 5s; the 4s pipelined wall clock
+        // saved 1s of barrier idle time.
+        assert_eq!(report.barrier_bound(), Duration::from_secs(5));
+        assert_eq!(report.overlap_saved(), Duration::from_secs(1));
     }
 
     #[test]

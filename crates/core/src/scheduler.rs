@@ -1,5 +1,6 @@
 //! Scheduling primitives: the bounded output queues of the BFS/DFS-adaptive
-//! scheduler (§5.2) and the per-segment scheduling state.
+//! scheduler (§5.2), the cross-machine per-segment state, and the readiness
+//! policy of the per-machine dataflow scheduler.
 //!
 //! Every operator owns a fixed-capacity output queue. The adaptive scheduler
 //! (Algorithm 5, implemented in [`crate::machine`]) keeps feeding an operator
@@ -8,15 +9,36 @@
 //! DFS-like behaviour under high pressure), and backtracks when inputs drain.
 //! Because queues are shared, idle machines can also steal whole batches from
 //! a remote machine's queues — the inter-machine half of work stealing.
+//!
+//! # Cross-segment readiness
+//!
+//! With `pipeline_segments` on there is no barrier between segments: each
+//! machine thread drives *all* segments of the dataflow through a small state
+//! machine ([`SegmentState`]) and picks what to run next by readiness:
+//!
+//! * a **scan** segment is always runnable;
+//! * a **join** segment becomes runnable (its `PUSH-JOIN` may be sealed and
+//!   polled) once every producer segment has been finished by *every*
+//!   machine — tracked by the per-segment [`SegmentShared::remaining`]
+//!   counter, which doubles as the end-of-stream signal for the shuffle
+//!   envelopes demultiplexed by the router.
+//!
+//! Among the runnable segments the scheduler prefers the *deepest* one
+//! (highest id, closest to the sink): draining consumers first bounds the
+//! intermediate memory exactly like the intra-segment DFS bias of Algorithm 5
+//! (the paper's Exp-7 argument). A producer blocked on shuffle backpressure
+//! never deadlocks: it absorbs its own inbox while it waits, so the machines
+//! it is pushing to always eventually drain it.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use huge_comm::RowBatch;
 use parking_lot::Mutex;
 
 use crate::memory::MemoryTracker;
+use crate::operators::ScanPool;
 
 /// A shared, capacity-aware queue of row batches.
 ///
@@ -170,6 +192,97 @@ impl SegmentQueues {
     }
 }
 
+/// Cross-machine shared state of one segment: every machine's stealable scan
+/// pool and operator queues, plus the counters of the termination protocol.
+/// Pre-built for *all* segments before any machine thread starts, so the
+/// pipelined scheduler never synchronises to set up a segment.
+pub struct SegmentShared {
+    /// One scan pool per machine (empty for join segments).
+    pub scan_pools: Vec<ScanPool>,
+    /// One set of operator queues per machine.
+    pub queues: Vec<Arc<SegmentQueues>>,
+    /// Idle flags used by the work-stealing termination protocol.
+    pub idle: Vec<AtomicBool>,
+    /// Machines that have not yet finished this segment. Reaching zero is the
+    /// segment's end-of-stream signal: every machine has executed (and
+    /// flushed the shuffle output of) the segment, so a consuming join may
+    /// absorb the last envelopes and seal its build.
+    pub remaining: AtomicUsize,
+}
+
+impl SegmentShared {
+    /// `true` once the segment is at end-of-stream: every machine has
+    /// finished it, or — for stealable (scan) segments — every machine is
+    /// *idle* on it. The idle clause matters for liveness: a machine goes
+    /// idle the moment its own work is drained and nothing is stealable, but
+    /// it releases its `remaining` slot lazily (on its next scheduler
+    /// visit). Once all machines are idle simultaneously no chain can run
+    /// and no envelope can still be produced (work for a segment only comes
+    /// from stealing existing work, and there is none), so consumers may
+    /// treat the shuffle as complete even while a straggler is busy inside
+    /// another segment. Join segments and no-stealing configurations never
+    /// set idle flags and rely on `remaining` alone.
+    pub fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::SeqCst) == 0
+            || (self.idle.len() > 1 && self.idle.iter().all(|f| f.load(Ordering::SeqCst)))
+    }
+}
+
+/// Cross-machine shared state of one whole run: the per-segment state plus
+/// the run-wide abort flag.
+pub struct RunShared {
+    /// Per-segment shared state, indexed by segment id.
+    pub segments: Vec<SegmentShared>,
+    /// Set when any machine fails (or panics) anywhere in the run: peers
+    /// blocked on backpressure, stealing, readiness waits or the
+    /// end-of-segment linger bail out instead of waiting for a machine that
+    /// will never make progress. Under pipelined execution an abort fails the
+    /// *whole run*, not one segment.
+    pub aborted: AtomicBool,
+}
+
+impl RunShared {
+    /// Builds the run state for `segments` segment slots (the per-segment
+    /// contents are supplied by the cluster, which knows pools and queues).
+    pub fn new(segments: Vec<SegmentShared>) -> Self {
+        RunShared {
+            segments,
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    /// Flags the run as failed.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` when some machine failed.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    /// The readiness policy: a segment may start once every dependency has
+    /// been finished by every machine (scan segments have no dependencies and
+    /// are always ready).
+    pub fn ready(&self, dependencies: &[usize]) -> bool {
+        dependencies.iter().all(|&d| self.segments[d].is_done())
+    }
+}
+
+/// Where one machine stands with one segment under the pipelined scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegmentState {
+    /// Not yet started (may be waiting on producer segments).
+    NotStarted,
+    /// The machine is actively executing the segment's operator chain.
+    Running,
+    /// Own work done; the machine revisits the segment to steal from peers
+    /// until every machine is idle on it.
+    Draining,
+    /// Finished on this machine (its `remaining` slot has been released).
+    Done,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +369,27 @@ mod tests {
         while thief.pop().is_some() {}
         while victim.pop().is_some() {}
         assert_eq!(victim_tracker.current() + thief_tracker.current(), 0);
+    }
+
+    #[test]
+    fn readiness_follows_remaining_counters() {
+        let seg = |remaining: usize| SegmentShared {
+            scan_pools: vec![ScanPool::empty()],
+            queues: vec![Arc::new(SegmentQueues::new(1, 10, None))],
+            idle: vec![AtomicBool::new(false)],
+            remaining: AtomicUsize::new(remaining),
+        };
+        let run = RunShared::new(vec![seg(0), seg(2), seg(2)]);
+        // Scan segments (no dependencies) are always ready.
+        assert!(run.ready(&[]));
+        // A join is ready only once every producer is globally done.
+        assert!(run.ready(&[0]));
+        assert!(!run.ready(&[0, 1]));
+        run.segments[1].remaining.store(0, Ordering::SeqCst);
+        assert!(run.ready(&[0, 1]));
+        assert!(!run.is_aborted());
+        run.abort();
+        assert!(run.is_aborted());
     }
 
     #[test]

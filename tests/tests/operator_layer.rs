@@ -126,7 +126,7 @@ fn baseline_table_ops_count_through_shared_substrate() {
     let parts = Arc::new(Partitioner::new(3).unwrap().partition(graph));
     let mut ctx = BaselineCtx::new(parts, &query);
     let edges = scan_star(&mut ctx, 0, &[1]).unwrap();
-    let triangles = wco_extend_pushing(&mut ctx, &edges, 2, &[0, 1]).unwrap();
+    let triangles = wco_extend_pushing(&mut ctx, edges, 2, &[0, 1]).unwrap();
     assert_eq!(triangles.total_rows(), expected);
     assert!(
         ctx.stats.total().bytes_pushed > 0,

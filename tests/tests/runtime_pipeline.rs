@@ -1,10 +1,12 @@
-//! Integration tests of the event-driven pipelined runtime: the persistent
-//! worker pool, the bounded notifying router, the streaming baseline
-//! shuffles, the count-only sink and the steal accounting hand-off.
+//! Integration tests of the event-driven pipelined runtime: the per-machine
+//! dataflow scheduler (cross-segment pipelining, abort propagation, threads
+//! spawned once per run), the persistent worker pool, the bounded notifying
+//! router, the streaming baseline shuffles, the count-only sink and the
+//! steal accounting hand-off.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use huge_baselines::exec::{hash_join_pushing, scan_star, BaselineCtx};
 use huge_baselines::Baseline;
@@ -13,9 +15,32 @@ use huge_comm::{Router, RowBatch};
 use huge_core::memory::MemoryTracker;
 use huge_core::pool::WorkerPool;
 use huge_core::scheduler::SharedQueue;
-use huge_core::{ClusterConfig, HugeCluster, LoadBalance, SinkMode};
-use huge_graph::{gen, Partitioner};
-use huge_query::{naive, Pattern};
+use huge_core::{ClusterConfig, Fault, HugeCluster, LoadBalance, SinkMode};
+use huge_graph::{gen, Graph, Partitioner};
+use huge_query::{naive, Pattern, QueryGraph};
+
+/// A multi-segment (PUSH-JOIN) plan for `query` on `cluster`: pulling is
+/// disabled so the optimiser must decompose the query into join segments.
+fn join_plan(
+    cluster: &HugeCluster,
+    query: &QueryGraph,
+) -> (huge_plan::logical::ExecutionPlan, usize) {
+    let plan = cluster
+        .plan_with_options(
+            query,
+            huge_plan::optimizer::OptimizerOptions {
+                disable_pulling: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let dataflow = huge_plan::translate::translate(&plan).unwrap();
+    assert!(
+        dataflow.num_joins() >= 1,
+        "expected a PUSH-JOIN in the plan"
+    );
+    (plan, dataflow.segments.len())
+}
 
 // ---------------------------------------------------------------------------
 // Persistent worker pool
@@ -173,7 +198,7 @@ fn baseline_join_streams_instead_of_double_buffering() {
     let left = scan_star(&mut ctx, 0, &[1, 3]).unwrap();
     let right = scan_star(&mut ctx, 2, &[1, 3]).unwrap();
     let shuffled_bytes = left.total_bytes() + right.total_bytes();
-    let joined = hash_join_pushing(&mut ctx, &left, &right).unwrap();
+    let joined = hash_join_pushing(&mut ctx, left, right).unwrap();
     assert_eq!(joined.total_rows(), naive::enumerate(&graph, &query));
     assert!(
         ctx.memory.peak() < shuffled_bytes,
@@ -192,7 +217,7 @@ fn baseline_join_streams_instead_of_double_buffering() {
     let left1 = scan_star(&mut ctx1, 0, &[1, 3]).unwrap();
     let right1 = scan_star(&mut ctx1, 2, &[1, 3]).unwrap();
     let shuffled1 = left1.total_bytes() + right1.total_bytes();
-    let joined1 = hash_join_pushing(&mut ctx1, &left1, &right1).unwrap();
+    let joined1 = hash_join_pushing(&mut ctx1, left1, right1).unwrap();
     assert_eq!(joined1.total_rows(), naive::enumerate(&graph, &query));
     assert!(
         ctx1.memory.peak() < shuffled1,
@@ -239,6 +264,12 @@ fn all_five_engines_agree_and_account_comparable_traffic() {
             .run(&query, SinkMode::Count)
             .unwrap();
         assert_eq!(huge.matches, expected, "HUGE on {pattern:?}");
+        // Parity must hold with cross-segment pipelining off, too.
+        let barriered = HugeCluster::build(graph.clone(), config.clone().pipeline_segments(false))
+            .unwrap()
+            .run(&query, SinkMode::Count)
+            .unwrap();
+        assert_eq!(barriered.matches, expected, "barriered HUGE on {pattern:?}");
         let mut pushed = Vec::new();
         for baseline in Baseline::ALL {
             let report = baseline.run(&graph, &query, &config).unwrap();
@@ -288,21 +319,139 @@ fn push_join_plans_pipeline_through_the_bounded_router() {
             .join_buffer_bytes(8 * 1024),
     )
     .unwrap();
-    let plan = cluster
-        .plan_with_options(
-            &query,
-            huge_plan::optimizer::OptimizerOptions {
-                disable_pulling: true,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-    let dataflow = huge_plan::translate::translate(&plan).unwrap();
-    assert!(
-        dataflow.num_joins() >= 1,
-        "expected a PUSH-JOIN in the plan"
-    );
+    let (plan, _) = join_plan(&cluster, &query);
     let report = cluster.run_with_plan(&plan, SinkMode::Count).unwrap();
     assert_eq!(report.matches, expected);
     assert!(report.comm.bytes_pushed > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-segment pipelining: the per-machine dataflow scheduler
+// ---------------------------------------------------------------------------
+
+#[test]
+fn machine_threads_are_spawned_once_per_run_when_pipelined() {
+    let graph = gen::erdos_renyi(200, 1_000, 17);
+    let query = Pattern::Path(4).query_graph();
+    let expected = naive::enumerate(&graph, &query);
+
+    let cluster = HugeCluster::build(graph.clone(), ClusterConfig::new(3).workers(1)).unwrap();
+    let (plan, segments) = join_plan(&cluster, &query);
+    assert!(segments >= 3, "want a multi-segment plan, got {segments}");
+    let report = cluster.run_with_plan(&plan, SinkMode::Count).unwrap();
+    assert_eq!(report.matches, expected);
+    assert!(report.pipelined);
+    // One thread per machine for the whole run, no matter how many segments.
+    assert_eq!(report.machine_threads_spawned, 3);
+
+    // The barriered escape hatch spawns (and joins) per segment.
+    let barriered = HugeCluster::build(
+        graph,
+        ClusterConfig::new(3).workers(1).pipeline_segments(false),
+    )
+    .unwrap();
+    let report = barriered.run_with_plan(&plan, SinkMode::Count).unwrap();
+    assert_eq!(report.matches, expected);
+    assert!(!report.pipelined);
+    assert_eq!(report.machine_threads_spawned, 3 * segments);
+}
+
+#[test]
+fn segments_overlap_across_machines_without_barriers() {
+    // Make machine 1 a deterministic straggler on segment 0 (a producing
+    // scan segment). Without barriers, machine 0 must move on to segment 1
+    // while machine 1 is still inside segment 0 — the spans of the two
+    // segments overlap. With barriers they cannot.
+    let delay = Duration::from_millis(150);
+    let graph = gen::erdos_renyi(120, 500, 23);
+    let query = Pattern::Path(4).query_graph();
+    let expected = naive::enumerate(&graph, &query);
+
+    let overlap_of = |pipelined: bool| {
+        let config = ClusterConfig::new(2)
+            .workers(1)
+            .pipeline_segments(pipelined)
+            .inject_fault(1, 0, Fault::Delay(delay));
+        let cluster = HugeCluster::build(graph.clone(), config).unwrap();
+        let (plan, segments) = join_plan(&cluster, &query);
+        assert!(segments >= 3);
+        let report = cluster.run_with_plan(&plan, SinkMode::Count).unwrap();
+        assert_eq!(report.matches, expected);
+        let m0_seg1_start = report.machines[0].segment_spans[1]
+            .expect("m0 ran segment 1")
+            .0;
+        let m1_seg0_end = report.machines[1].segment_spans[0]
+            .expect("m1 ran segment 0")
+            .1;
+        (m0_seg1_start, m1_seg0_end)
+    };
+
+    // Pipelined: machine 0 starts segment 1 while machine 1 (sleeping
+    // `delay` before its segment-0 work) has not finished segment 0.
+    let (start1, end0) = overlap_of(true);
+    assert!(
+        start1 < end0,
+        "expected overlap: m0 started segment 1 at {start1:?}, m1 finished segment 0 at {end0:?}"
+    );
+    // Barriered: no machine may start segment 1 before every machine
+    // finished segment 0.
+    let (start1, end0) = overlap_of(false);
+    assert!(
+        start1 >= end0,
+        "barriered run must not overlap: m0 started segment 1 at {start1:?}, m1 finished segment 0 at {end0:?}"
+    );
+}
+
+#[test]
+fn panicking_machine_aborts_the_whole_pipelined_run() {
+    // Machine 0 panics in segment 0 while its peers park waiting for the
+    // join segment's producers: the abort must propagate and unblock them
+    // instead of deadlocking the run.
+    let graph = gen::erdos_renyi(150, 700, 29);
+    let query = Pattern::Path(4).query_graph();
+    let cluster = HugeCluster::build(
+        graph,
+        ClusterConfig::new(3)
+            .workers(1)
+            .router_queue_rows(256)
+            .inject_fault(0, 0, Fault::Panic),
+    )
+    .unwrap();
+    let (plan, segments) = join_plan(&cluster, &query);
+    assert!(segments >= 3);
+    let start = Instant::now();
+    let result = cluster.run_with_plan(&plan, SinkMode::Count);
+    let err = result.expect_err("an injected panic must fail the run");
+    assert!(
+        matches!(err, huge_core::EngineError::WorkerPanic(_)),
+        "unexpected error: {err}"
+    );
+    // Peers parked in later segments were woken, not left hanging.
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "abort propagation took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn skewed_partitions_finish_via_stealing_and_pipelining() {
+    // A graph whose edges concentrate on the vertices machine 1 owns
+    // (odd ids under the modulo partitioner): the pipelined run with
+    // stealing must still match the reference count.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for a in (1..81u32).step_by(2) {
+        for b in ((a + 2)..81).step_by(2) {
+            edges.push((a, b));
+        }
+    }
+    edges.extend([(0, 2), (2, 4), (4, 6), (0, 1), (2, 3)]);
+    let graph = Graph::from_edges(edges);
+    let query = Pattern::Square.query_graph();
+    let expected = naive::enumerate(&graph, &query);
+    let cluster = HugeCluster::build(graph, ClusterConfig::new(2).workers(2)).unwrap();
+    let (plan, _) = join_plan(&cluster, &query);
+    let report = cluster.run_with_plan(&plan, SinkMode::Count).unwrap();
+    assert_eq!(report.matches, expected);
+    assert!(report.pipelined);
 }
