@@ -4,7 +4,8 @@
 //! cargo run -p huge-bench --release --bin experiments -- <exp> [--scale S] [--machines K]
 //! ```
 //!
-//! where `<exp>` is one of `table1`, `exp1` … `exp10`, `barrier`, or `all`.
+//! where `<exp>` is one of `table1`, `exp1` … `exp10`, `barrier`, `memory`,
+//! or `all`.
 //! The default scale (0.08) keeps the whole suite in the minutes range on a
 //! laptop; increase `--scale` to approach the paper's workloads.
 
@@ -54,7 +55,7 @@ fn main() {
     let experiments: Vec<&str> = if exp == "all" {
         vec![
             "table1", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8", "exp9",
-            "exp10", "barrier",
+            "exp10", "barrier", "memory",
         ]
     } else {
         vec![exp.as_str()]
@@ -74,6 +75,7 @@ fn main() {
             "exp9" => exp9(&opts),
             "exp10" => exp10(&opts),
             "barrier" => barrier(&opts),
+            "memory" => memory(&opts),
             other => eprintln!("unknown experiment {other}"),
         }
     }
@@ -500,6 +502,51 @@ fn barrier(opts: &Options) {
             counts.windows(2).all(|w| w[0] == w[1]),
             "pipelined and barriered runs disagree on q{qi}"
         );
+    }
+    println!("\n{}", table.render());
+}
+
+/// Memory governor: Exp-7's time/memory trade-off as an online controller.
+/// The static queue sweep of `exp7` is replaced by a *byte budget*: the
+/// governor adapts queue/inbox capacities, scheduling and join spilling at
+/// runtime, so one knob (bytes) drives the whole ladder.
+fn memory(opts: &Options) {
+    let graph = load_dataset(DatasetKind::Uk, opts.scale);
+    let query = paper_query(6);
+    let mut table = TextTable::new(vec![
+        "budget/machine (MiB)",
+        "T(s)",
+        "peak (MiB)",
+        "spilled (MiB)",
+        "throttled",
+        "yellow/red",
+    ]);
+    let base = default_config(opts.machines);
+    let cluster = HugeCluster::build(graph.clone(), base.clone()).expect("cluster");
+    let ungoverned = cluster.run(&query, SinkMode::Count).expect("run");
+    table.add_row(vec![
+        "unbounded".to_string(),
+        secs(ungoverned.total_time()),
+        mib(ungoverned.peak_memory_bytes),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    for divisor in [2u64, 4, 8, 16] {
+        let budget = (ungoverned.peak_memory_bytes / divisor).max(1);
+        let config = base.clone().memory_budget_per_machine(budget);
+        let cluster = HugeCluster::build(graph.clone(), config).expect("cluster");
+        let report = cluster.run(&query, SinkMode::Count).expect("governed run");
+        assert_eq!(report.matches, ungoverned.matches, "governed parity");
+        let gov = report.governor.clone().expect("governor report");
+        table.add_row(vec![
+            mib(budget),
+            secs(report.total_time()),
+            mib(report.peak_memory_bytes),
+            mib(gov.spilled_bytes),
+            gov.throttled_batches.to_string(),
+            format!("{}/{}", gov.transitions_to_yellow, gov.transitions_to_red),
+        ]);
     }
     println!("\n{}", table.render());
 }

@@ -16,9 +16,10 @@ use huge_query::{Pattern, QueryGraph};
 /// Default scale multiplier: keeps every experiment under a few minutes.
 pub const DEFAULT_SCALE: f64 = 0.08;
 
-/// Builds (or re-uses) a synthetic stand-in dataset at the given scale.
+/// Builds a dataset at the given scale: a real edge list from
+/// `HUGE_DATASET_DIR` when one is available, else the synthetic stand-in.
 pub fn load_dataset(kind: DatasetKind, scale: f64) -> Graph {
-    Dataset::new(kind).scaled(scale).generate()
+    Dataset::new(kind).scaled(scale).load()
 }
 
 /// Builds the query graph for a paper query index (1..=8).

@@ -53,7 +53,10 @@ struct Inbox {
     /// Queued rows, readable without the lock for fast emptiness/fullness
     /// checks (writes happen under the lock).
     rows: AtomicUsize,
-    capacity_rows: usize,
+    /// The *effective* capacity: initialised from the configuration and
+    /// adjustable at runtime (the memory governor shrinks it under pressure
+    /// and restores it when pressure clears).
+    capacity_rows: AtomicUsize,
     /// Signalled when data arrives (or the owner is nudged via `wake`).
     data: Condvar,
     /// Signalled when space is freed.
@@ -68,7 +71,7 @@ impl Inbox {
                 accounting: None,
             }),
             rows: AtomicUsize::new(0),
-            capacity_rows: capacity_rows.max(1),
+            capacity_rows: AtomicUsize::new(capacity_rows.max(1)),
             data: Condvar::new(),
             space: Condvar::new(),
         }
@@ -81,7 +84,9 @@ impl Inbox {
             let mut state = self.state.lock().unwrap();
             // "Overflow by at most one batch": accept whenever the inbox is
             // below capacity so a single oversized batch cannot wedge.
-            if !force && self.rows.load(Ordering::Relaxed) >= self.capacity_rows {
+            if !force
+                && self.rows.load(Ordering::Relaxed) >= self.capacity_rows.load(Ordering::Relaxed)
+            {
                 return Err(env);
             }
             self.rows.fetch_add(env.batch.len(), Ordering::Relaxed);
@@ -146,7 +151,7 @@ impl Inbox {
     /// Parks until space frees up or the timeout elapses.
     fn wait_space(&self, timeout: Duration) {
         let state = self.state.lock().unwrap();
-        if self.rows.load(Ordering::Relaxed) < self.capacity_rows {
+        if self.rows.load(Ordering::Relaxed) < self.capacity_rows.load(Ordering::Relaxed) {
             return;
         }
         let _unused = self.space.wait_timeout(state, timeout).unwrap();
@@ -313,7 +318,26 @@ impl RouterEndpoint {
     /// Forced local pushes can overfill an inbox past its bound; callers
     /// that force (see [`RouterEndpoint::push`]) should poll this and drain.
     pub fn inbox_full(&self, to: MachineId) -> bool {
-        self.inboxes[to].rows.load(Ordering::Relaxed) >= self.inboxes[to].capacity_rows
+        self.inboxes[to].rows.load(Ordering::Relaxed)
+            >= self.inboxes[to].capacity_rows.load(Ordering::Relaxed)
+    }
+
+    /// The effective row capacity of machine `to`'s inbox.
+    pub fn inbox_capacity(&self, to: MachineId) -> usize {
+        self.inboxes[to].capacity_rows.load(Ordering::Relaxed)
+    }
+
+    /// Adjusts the effective row capacity of machine `to`'s inbox at runtime
+    /// (floored at 1). Shrinking makes producers observe backpressure
+    /// earlier through the existing [`RouterEndpoint::try_push`] /
+    /// [`RouterEndpoint::wait_space`] path; growing wakes producers parked
+    /// on a previously-full inbox. This is the memory governor's actuator
+    /// for in-flight shuffle data.
+    pub fn set_inbox_capacity(&self, to: MachineId, rows: usize) {
+        self.inboxes[to]
+            .capacity_rows
+            .store(rows.max(1), Ordering::Relaxed);
+        self.inboxes[to].space.notify_all();
     }
 
     /// `true` when this machine's inbox holds data (lock-free check).
@@ -448,6 +472,29 @@ mod tests {
         let b = router.endpoint(1);
         while b.try_recv().is_some() {}
         assert!(a.try_push(1, 0, batch(&[6])).is_ok());
+    }
+
+    #[test]
+    fn inbox_capacity_is_adjustable_at_runtime() {
+        let stats = ClusterStats::new(2);
+        let router = Router::with_capacity(2, stats, 100);
+        let a = router.endpoint(0);
+        assert_eq!(a.inbox_capacity(1), 100);
+        assert!(a.try_push(1, 0, batch(&[1, 2, 3])).is_ok());
+        // Shrink below the queued volume: further pushes bounce.
+        a.set_inbox_capacity(1, 2);
+        assert_eq!(a.inbox_capacity(1), 2);
+        assert!(a.try_push(1, 0, batch(&[4])).is_err());
+        // Growing re-opens the inbox without draining.
+        a.set_inbox_capacity(1, 100);
+        assert!(a.try_push(1, 0, batch(&[4])).is_ok());
+        // The floor keeps a shrunken inbox able to accept one batch at a
+        // time once it drains.
+        a.set_inbox_capacity(1, 0);
+        assert_eq!(a.inbox_capacity(1), 1);
+        let b = router.endpoint(1);
+        while b.try_recv().is_some() {}
+        assert!(a.try_push(1, 0, batch(&[9, 9])).is_ok());
     }
 
     #[test]

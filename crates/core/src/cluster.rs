@@ -16,8 +16,9 @@ use huge_plan::translate::{translate, Dataflow, SegmentSource};
 use huge_query::QueryGraph;
 
 use crate::config::{ClusterConfig, SinkMode};
+use crate::governor::MemoryGovernor;
 use crate::machine::{MachineState, SegmentPlan, Terminal};
-use crate::memory::ClusterMemory;
+use crate::memory::MemoryTracker;
 use crate::operators::ScanPool;
 use crate::report::{merge_cache_stats, RunReport};
 use crate::scheduler::{RunShared, SegmentQueues, SegmentShared};
@@ -121,24 +122,30 @@ impl HugeCluster {
         let router =
             Router::with_capacity(k, comm_stats.clone(), self.config.router_queue_rows.max(1));
         let rpc = RpcFabric::new(Arc::clone(&self.partitions), comm_stats.clone());
-        let memory = ClusterMemory::new(k);
         let cache_bytes = self.config.effective_cache_bytes(self.stats.csr_bytes);
         let spill_root = spill_dir();
+
+        // Per-machine trackers and the run's memory governor: the governor
+        // watches the trackers and adjusts effective queue/inbox capacities
+        // through shared handles (a no-op unless a budget is configured).
+        let trackers: Vec<Arc<MemoryTracker>> =
+            (0..k).map(|_| Arc::new(MemoryTracker::new())).collect();
+        let governor = MemoryGovernor::new(&self.config, &trackers, router.endpoint(0));
 
         // Per-machine state, persisted across segments.
         let mut machines: Vec<MachineState> = (0..k)
             .map(|m| {
-                let tracker = Arc::new(crate::memory::MemoryTracker::new());
                 // Bytes queued in the machine's router inbox count towards
                 // its intermediate-result memory (the paper's M).
-                router.set_accounting(m, Arc::clone(&tracker) as _);
+                router.set_accounting(m, Arc::clone(&trackers[m]) as _);
                 MachineState::new(
                     m,
                     self.partitions[m].clone(),
                     self.config.cache_kind.build(cache_bytes),
                     router.endpoint(m),
                     rpc.clone(),
-                    tracker,
+                    Arc::clone(&trackers[m]),
+                    Arc::clone(&governor),
                     self.config.clone(),
                     spill_root.join(format!("machine-{m}")),
                 )
@@ -171,9 +178,12 @@ impl HugeCluster {
                 let num_ops = 1 + plan.segment.extends.len();
                 let queues: Vec<Arc<SegmentQueues>> = (0..k)
                     .map(|m| {
-                        Arc::new(SegmentQueues::new(
+                        // Every queue of machine m reads its *effective*
+                        // capacity from the governor's per-machine handle
+                        // (initialised to the configured capacity).
+                        Arc::new(SegmentQueues::governed(
                             num_ops,
-                            self.config.output_queue_rows.max(1),
+                            governor.queue_capacity_handle(m),
                             Some(Arc::clone(&machines[m].memory)),
                         ))
                     })
@@ -271,9 +281,7 @@ impl HugeCluster {
             .map(|m| m.fetch_time)
             .max()
             .unwrap_or_default();
-        let peak_memory_bytes = memory
-            .peak()
-            .max(machines.iter().map(|m| m.memory.peak()).max().unwrap_or(0));
+        let peak_memory_bytes = machines.iter().map(|m| m.memory.peak()).max().unwrap_or(0);
 
         Ok(RunReport {
             query: dataflow.query.name().to_string(),
@@ -288,6 +296,7 @@ impl HugeCluster {
             fetch_time,
             pipelined: self.config.pipeline_segments,
             machine_threads_spawned: threads_spawned.load(Ordering::Relaxed),
+            governor: governor.report(peak_memory_bytes),
             machines: machine_reports,
         })
     }

@@ -64,7 +64,9 @@ pub struct ClusterConfig {
     /// graphs are smaller.
     pub batch_size: usize,
     /// Capacity of each operator's output queue in rows (§5.2). `usize::MAX`
-    /// degenerates to pure BFS scheduling, `0` to pure DFS scheduling.
+    /// degenerates to pure BFS scheduling, `1` to pure DFS scheduling (the
+    /// builder floors the value at 1: a zero-capacity queue would wedge
+    /// `SharedQueue`, since even one pushed batch could never drain space).
     pub output_queue_rows: usize,
     /// Capacity of each machine's router inbox in rows. Producers shuffling
     /// join inputs observe backpressure when a destination inbox is full and
@@ -92,6 +94,18 @@ pub struct ClusterConfig {
     /// historic barriered execution (machine threads joined between
     /// segments), the escape hatch the `barrier` experiment quantifies.
     pub pipeline_segments: bool,
+    /// Global byte budget for intermediate-result memory across the cluster.
+    /// When set, the run instantiates a
+    /// [`MemoryGovernor`](crate::governor::MemoryGovernor) that enforces the
+    /// per-machine share (`memory_budget / machines`, unless
+    /// [`ClusterConfig::memory_budget_per_machine`] overrides it) by
+    /// shrinking queue/inbox capacities, tightening the scheduler into
+    /// strict DFS and spilling `PUSH-JOIN` buffers under pressure. `None`
+    /// (the default) disables governance entirely.
+    pub memory_budget: Option<u64>,
+    /// Per-machine byte budget override. `None` derives the per-machine
+    /// share from `memory_budget`.
+    pub memory_budget_per_machine: Option<u64>,
     /// Chaos-testing hook; see [`FaultSpec`].
     pub fault_injection: Option<FaultSpec>,
     /// Network model used to convert recorded traffic into the reported
@@ -116,6 +130,8 @@ impl ClusterConfig {
             load_balance: LoadBalance::WorkStealing,
             inter_machine_stealing: true,
             pipeline_segments: true,
+            memory_budget: None,
+            memory_budget_per_machine: None,
             fault_injection: None,
             network: NetworkModel::ten_gbps(machines.max(1)),
         }
@@ -133,9 +149,11 @@ impl ClusterConfig {
         self
     }
 
-    /// Sets the output queue capacity in rows.
+    /// Sets the output queue capacity in rows (floored at 1, like
+    /// [`ClusterConfig::router_queue_rows`]: a zero-capacity queue can never
+    /// drain and wedges the scheduler; capacity 1 is the pure-DFS setting).
     pub fn output_queue_rows(mut self, rows: usize) -> Self {
-        self.output_queue_rows = rows;
+        self.output_queue_rows = rows.max(1);
         self
     }
 
@@ -199,6 +217,30 @@ impl ClusterConfig {
     pub fn join_buffer_bytes(mut self, bytes: u64) -> Self {
         self.join_buffer_bytes = bytes.max(1024);
         self
+    }
+
+    /// Sets the global intermediate-result memory budget in bytes and
+    /// enables the [`MemoryGovernor`](crate::governor::MemoryGovernor).
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes.max(1));
+        self
+    }
+
+    /// Overrides the per-machine byte budget (otherwise derived as
+    /// `memory_budget / machines`).
+    pub fn memory_budget_per_machine(mut self, bytes: u64) -> Self {
+        self.memory_budget_per_machine = Some(bytes.max(1));
+        self
+    }
+
+    /// The per-machine byte budget the governor enforces, if any: the
+    /// explicit per-machine override, else an even share of the global
+    /// budget.
+    pub fn machine_memory_budget(&self) -> Option<u64> {
+        self.memory_budget_per_machine.or_else(|| {
+            self.memory_budget
+                .map(|b| (b / self.machines.max(1) as u64).max(1))
+        })
     }
 
     /// Overrides the network model.
@@ -298,5 +340,32 @@ mod tests {
     fn zero_machines_is_clamped() {
         let cfg = ClusterConfig::new(0);
         assert_eq!(cfg.machines, 1);
+    }
+
+    #[test]
+    fn zero_output_queue_rows_is_floored_like_router_queue_rows() {
+        // Regression: `output_queue_rows(0)` used to be accepted verbatim
+        // and wedged `SharedQueue` (a zero-capacity queue is always full).
+        let cfg = ClusterConfig::new(2)
+            .output_queue_rows(0)
+            .router_queue_rows(0);
+        assert_eq!(cfg.output_queue_rows, 1);
+        assert_eq!(cfg.router_queue_rows, 1);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn memory_budget_knobs_and_per_machine_share() {
+        let cfg = ClusterConfig::new(4);
+        assert_eq!(cfg.memory_budget, None);
+        assert_eq!(cfg.machine_memory_budget(), None);
+        let cfg = cfg.memory_budget(4096);
+        assert_eq!(cfg.memory_budget, Some(4096));
+        assert_eq!(cfg.machine_memory_budget(), Some(1024));
+        let cfg = cfg.memory_budget_per_machine(9999);
+        assert_eq!(cfg.machine_memory_budget(), Some(9999));
+        // The budget never collapses to zero, even for huge clusters.
+        let cfg = ClusterConfig::new(8).memory_budget(3);
+        assert_eq!(cfg.machine_memory_budget(), Some(1));
     }
 }

@@ -336,6 +336,26 @@ impl PushJoin {
     pub fn has_more(&self) -> bool {
         self.joiner.is_some() || self.stream.as_ref().is_some_and(|s| !s.is_exhausted())
     }
+
+    /// Bytes currently buffered in memory (whichever phase the join is in).
+    pub fn buffered_bytes(&self) -> u64 {
+        match (&self.joiner, &self.stream) {
+            (Some(j), _) => j.buffered_bytes(),
+            (_, Some(s)) => s.buffered_bytes(),
+            _ => 0,
+        }
+    }
+
+    /// Flushes the join's in-memory Grace partitions to disk (the memory
+    /// governor's spill actuator), whether the join is still building or
+    /// already sealed into a stream. Returns the bytes released.
+    pub fn spill_to_disk(&mut self) -> Result<u64> {
+        match (&mut self.joiner, &mut self.stream) {
+            (Some(j), _) => j.spill_to_disk(),
+            (_, Some(s)) => s.spill_to_disk(),
+            _ => Ok(0),
+        }
+    }
 }
 
 impl BatchOperator for PushJoin {

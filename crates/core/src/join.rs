@@ -15,7 +15,7 @@
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use huge_comm::RowBatch;
 use huge_graph::VertexId;
@@ -184,27 +184,24 @@ impl HashJoiner {
             if part.rows_in_memory.is_empty() {
                 break;
             }
-            let path = part.spill_file.clone().unwrap_or_else(|| {
-                self.spill_counter += 1;
-                let path =
-                    spill_dir.join(format!("join-{tag}-{victim}-{}.spill", self.spill_counter));
-                part.spill_file = Some(path.clone());
-                path
-            });
-            std::fs::create_dir_all(&spill_dir)?;
-            let file = OpenOptions::new().create(true).append(true).open(&path)?;
-            let mut w = BufWriter::new(file);
-            for v in &part.rows_in_memory {
-                w.write_all(&v.to_le_bytes())?;
-            }
-            w.flush()?;
-            part.spilled_values += part.rows_in_memory.len() as u64;
-            buffer.buffered_bytes -= part.memory_bytes;
-            self.memory.release(part.memory_bytes);
-            part.memory_bytes = 0;
-            part.rows_in_memory.clear();
+            let bytes = spill_partition(part, &spill_dir, tag, victim, &mut self.spill_counter)?;
+            buffer.buffered_bytes -= bytes;
+            self.memory.release(bytes);
         }
         Ok(())
+    }
+
+    /// Flushes every in-memory partition of both sides to disk — the memory
+    /// governor's spill actuator. Rows are appended to the partitions' spill
+    /// files and re-loaded lazily when the join is streamed, so results are
+    /// unchanged; only the tracked resident bytes drop. Returns the bytes
+    /// released.
+    pub fn spill_to_disk(&mut self) -> Result<u64> {
+        let dir = self.spill_dir.clone();
+        let mut total = spill_side(&mut self.left, &dir, "l", &mut self.spill_counter)?;
+        total += spill_side(&mut self.right, &dir, "r", &mut self.spill_counter)?;
+        self.memory.release(total);
+        Ok(total)
     }
 
     /// Total bytes currently buffered in memory (both sides).
@@ -250,6 +247,8 @@ impl HashJoiner {
             partition: 0,
             current: None,
             produced: 0,
+            spill_dir: self.spill_dir.clone(),
+            spill_counter: self.spill_counter,
         }
     }
 
@@ -308,6 +307,8 @@ pub struct JoinStream {
     partition: usize,
     current: Option<PartitionProbe>,
     produced: u64,
+    spill_dir: PathBuf,
+    spill_counter: usize,
 }
 
 impl JoinStream {
@@ -324,6 +325,24 @@ impl JoinStream {
     /// `true` once every partition has been consumed.
     pub fn is_exhausted(&self) -> bool {
         self.current.is_none() && self.partition >= NUM_PARTITIONS
+    }
+
+    /// Bytes of not-yet-loaded partitions still resident in memory.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.left.buffered_bytes + self.right.buffered_bytes
+    }
+
+    /// Flushes every not-yet-loaded in-memory partition to disk — the memory
+    /// governor's spill actuator on a *sealed* join. The partition currently
+    /// being probed stays resident (it is the working set);
+    /// [`JoinStream::next_batch`] lazily re-loads spilled partitions exactly
+    /// as it loads naturally-spilled ones. Returns the bytes released.
+    pub fn spill_to_disk(&mut self) -> Result<u64> {
+        let dir = self.spill_dir.clone();
+        let mut total = spill_side(&mut self.left, &dir, "l", &mut self.spill_counter)?;
+        total += spill_side(&mut self.right, &dir, "r", &mut self.spill_counter)?;
+        self.memory.release(total);
+        Ok(total)
     }
 
     /// Produces the next output batch (at most `batch_rows` rows), or `None`
@@ -448,6 +467,64 @@ impl Drop for JoinStream {
             self.memory.release(probe.loaded_bytes);
         }
     }
+}
+
+/// Appends one partition's in-memory rows to its spill file (creating the
+/// file on first spill). Returns the in-memory bytes flushed; the caller is
+/// responsible for adjusting the side's `buffered_bytes` and the memory
+/// tracker (so the helper composes with both the threshold spill in
+/// [`HashJoiner::add`] and the governor-driven full spills).
+fn spill_partition(
+    part: &mut SidePartition,
+    spill_dir: &Path,
+    tag: &str,
+    index: usize,
+    counter: &mut usize,
+) -> Result<u64> {
+    if part.rows_in_memory.is_empty() {
+        return Ok(0);
+    }
+    let path = match part.spill_file.clone() {
+        Some(path) => path,
+        None => {
+            *counter += 1;
+            let path = spill_dir.join(format!("join-{tag}-{index}-{counter}.spill"));
+            part.spill_file = Some(path.clone());
+            path
+        }
+    };
+    std::fs::create_dir_all(spill_dir)?;
+    let file = OpenOptions::new().create(true).append(true).open(&path)?;
+    let mut w = BufWriter::new(file);
+    for v in &part.rows_in_memory {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    part.spilled_values += part.rows_in_memory.len() as u64;
+    let bytes = part.memory_bytes;
+    part.memory_bytes = 0;
+    // Drop the allocation too (not just the length): a spill exists to make
+    // the resident footprint actually shrink.
+    part.rows_in_memory = Vec::new();
+    Ok(bytes)
+}
+
+/// Spills every in-memory partition of one side, adjusting the side's
+/// buffered-byte count. Returns the total bytes flushed (the caller releases
+/// them from the memory tracker).
+fn spill_side(
+    side: &mut SideBuffer,
+    spill_dir: &Path,
+    tag: &str,
+    counter: &mut usize,
+) -> Result<u64> {
+    let mut total = 0u64;
+    for index in 0..side.partitions.len() {
+        let bytes = spill_partition(&mut side.partitions[index], spill_dir, tag, index, counter)?;
+        side.buffered_bytes -= bytes;
+        total += bytes;
+    }
+    Ok(total)
 }
 
 /// Drops one partition of one side without reading it back: releases its
@@ -660,6 +737,75 @@ mod tests {
             .finish(16, |b| rows.extend(b.rows().map(|x| x.to_vec())))
             .unwrap();
         assert_eq!(rows, vec![vec![1, 2, 7, 9]]);
+    }
+
+    #[test]
+    fn governor_spill_hook_preserves_results_and_releases_memory() {
+        let tracker = std::sync::Arc::new(MemoryTracker::new());
+        let mut joiner = HashJoiner::new(
+            simple_op(),
+            2,
+            2,
+            1 << 20,
+            spill_dir(),
+            MemoryTrackerHandle::Tracked(std::sync::Arc::clone(&tracker)),
+        );
+        let n = 500u32;
+        let left: Vec<[u32; 2]> = (0..n).map(|i| [i, i + 10_000]).collect();
+        let right: Vec<[u32; 2]> = (0..n).map(|i| [i, i + 20_000]).collect();
+        joiner.add(JoinSide::Left, &batch2(&left)).unwrap();
+        joiner.add(JoinSide::Right, &batch2(&right)).unwrap();
+        assert!(tracker.current() > 0);
+        // Force everything to disk (the buffer is far below the threshold,
+        // so nothing spilled naturally).
+        let spilled = joiner.spill_to_disk().unwrap();
+        assert_eq!(spilled, u64::from(n) * 2 * 2 * 4);
+        assert_eq!(joiner.buffered_bytes(), 0);
+        assert_eq!(tracker.current(), 0);
+        assert!(joiner.spilled());
+        // A second spill is a no-op.
+        assert_eq!(joiner.spill_to_disk().unwrap(), 0);
+        // The spilled rows are lazily re-loaded and joined as usual.
+        let mut count = 0u64;
+        let produced = joiner.finish(128, |b| count += b.len() as u64).unwrap();
+        assert_eq!(produced, u64::from(n));
+        assert_eq!(count, u64::from(n));
+        assert_eq!(tracker.current(), 0);
+    }
+
+    #[test]
+    fn sealed_stream_spill_hook_preserves_results() {
+        let tracker = std::sync::Arc::new(MemoryTracker::new());
+        let mut joiner = HashJoiner::new(
+            simple_op(),
+            2,
+            2,
+            1 << 20,
+            spill_dir(),
+            MemoryTrackerHandle::Tracked(std::sync::Arc::clone(&tracker)),
+        );
+        let n = 400u32;
+        let left: Vec<[u32; 2]> = (0..n).map(|i| [i, i + 10_000]).collect();
+        let right: Vec<[u32; 2]> = (0..n).map(|i| [i, i + 20_000]).collect();
+        joiner.add(JoinSide::Left, &batch2(&left)).unwrap();
+        joiner.add(JoinSide::Right, &batch2(&right)).unwrap();
+        let mut stream = joiner.into_stream(64);
+        // Consume one batch so one partition is resident, then spill the
+        // sealed remainder mid-stream.
+        let first = stream.next_batch().unwrap().unwrap();
+        assert!(!first.is_empty());
+        let before = stream.buffered_bytes();
+        assert!(before > 0);
+        let spilled = stream.spill_to_disk().unwrap();
+        assert!(spilled > 0);
+        assert_eq!(stream.buffered_bytes(), 0);
+        let mut count = first.len() as u64;
+        while let Some(batch) = stream.next_batch().unwrap() {
+            count += batch.len() as u64;
+        }
+        assert_eq!(count, u64::from(n));
+        drop(stream);
+        assert_eq!(tracker.current(), 0);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! * an [LRBU cache](huge_cache::LrbuCache) for pulled adjacency lists,
 //! * a router endpoint (pushing) and an RPC handle (pulling) from
 //!   `huge-comm`, and
-//! * a BFS/DFS-adaptive scheduler with fixed-capacity output queues.
+//! * a BFS/DFS-adaptive scheduler with bounded output queues whose
+//!   *effective* capacities are governed at runtime by the per-run
+//!   [`governor::MemoryGovernor`] when a
+//!   [`ClusterConfig::memory_budget`](config::ClusterConfig) is set.
 //!
 //! A query is planned by `huge-plan` (Algorithm 1), translated into a
 //! dataflow of `SCAN` / `PULL-EXTEND` / `PUSH-JOIN` / `SINK` operators
@@ -38,6 +41,7 @@
 pub mod cluster;
 pub mod config;
 pub mod exec;
+pub mod governor;
 pub mod join;
 pub mod machine;
 pub mod memory;
@@ -49,7 +53,8 @@ pub mod scheduler;
 pub use cluster::HugeCluster;
 pub use config::{ClusterConfig, Fault, FaultSpec, LoadBalance, SinkMode};
 pub use exec::{BatchOperator, OpContext, OpPoll};
-pub use report::{MachineReport, RunReport};
+pub use governor::{MemoryGovernor, PressureLevel};
+pub use report::{GovernorReport, MachineReport, RunReport};
 
 /// Errors surfaced by the engine.
 #[derive(Debug)]

@@ -31,6 +31,7 @@ use crate::config::{ClusterConfig, Fault, SinkMode};
 use crate::exec::{
     partition_by_key, BatchOperator, OpContext, OpPoll, PullExtend, PushJoin, ScanSource,
 };
+use crate::governor::{MemoryGovernor, PressureLevel};
 use crate::join::{JoinSide, MemoryTrackerHandle};
 use crate::memory::MemoryTracker;
 use crate::pool::WorkerPool;
@@ -41,6 +42,11 @@ use crate::{EngineError, Result};
 /// How long a machine parks on the router before re-checking conditions that
 /// change without data arriving (idle flags, segment completion, aborts).
 const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Join buffers below this resident size are not worth a governed spill
+/// (each spill is a file append; flushing per-envelope trickles would turn
+/// Red pressure into an IO storm).
+const SPILL_WATERMARK_BYTES: u64 = 64 * 1024;
 
 /// What happens to a segment's output rows.
 #[derive(Clone, Debug)]
@@ -146,6 +152,8 @@ pub struct MachineState {
     pub pool: WorkerPool,
     /// Memory tracker for intermediate results.
     pub memory: Arc<MemoryTracker>,
+    /// The run's memory governor (a no-op unless a budget is configured).
+    pub governor: Arc<MemoryGovernor>,
     /// Engine configuration.
     pub config: ClusterConfig,
     /// Directory for `PUSH-JOIN` spill files.
@@ -188,6 +196,7 @@ impl MachineState {
         router: RouterEndpoint,
         rpc: RpcFabric,
         memory: Arc<MemoryTracker>,
+        governor: Arc<MemoryGovernor>,
         config: ClusterConfig,
         spill_dir: PathBuf,
     ) -> Self {
@@ -201,6 +210,7 @@ impl MachineState {
             rpc,
             pool,
             memory,
+            governor,
             config,
             spill_dir,
             matches: 0,
@@ -267,6 +277,13 @@ impl MachineState {
         }
     }
 
+    /// The batch size operators should use right now: the configured size,
+    /// capped by the governor under Red pressure (the strict-DFS scan cap).
+    fn effective_batch_size(&self) -> usize {
+        self.governor
+            .effective_batch_size(self.machine, self.config.batch_size)
+    }
+
     fn op_context(&self) -> OpContext<'_> {
         OpContext {
             machine: self.machine,
@@ -275,8 +292,29 @@ impl MachineState {
             cache: self.cache.as_ref(),
             use_cache: !self.config.disable_cache,
             pool: &self.pool,
-            batch_size: self.config.batch_size,
+            batch_size: self.effective_batch_size(),
         }
+    }
+
+    /// Re-evaluates memory pressure and fires the actuators that need
+    /// machine-local state: under Red pressure the pending `PUSH-JOIN`
+    /// builds flush their Grace partitions to disk (sealed streams are
+    /// spilled by [`MachineState::run_chain`], which owns them). Returns the
+    /// current level so callers can tighten their own scheduling.
+    fn governor_tick(&mut self) -> Result<PressureLevel> {
+        let level = self.governor.tick(self.machine);
+        if level == PressureLevel::Red {
+            let mut spilled = 0u64;
+            for join in self.pending_joins.values_mut() {
+                if join.buffered_bytes() >= SPILL_WATERMARK_BYTES {
+                    spilled += join.spill_to_disk()?;
+                }
+            }
+            if spilled > 0 {
+                self.governor.record_spill(self.machine, spilled);
+            }
+        }
+        Ok(level)
     }
 
     /// Moves every queued inbound envelope into the joiner it feeds. This is
@@ -315,6 +353,7 @@ impl MachineState {
         run: &RunShared,
     ) -> Result<()> {
         let mut pending = batch;
+        let mut throttle_counted = false;
         loop {
             match self.router.try_push(dest, segment, pending) {
                 Ok(()) => return Ok(()),
@@ -323,6 +362,15 @@ impl MachineState {
                         return Err(EngineError::Aborted(
                             "shuffle target lost to a failed peer machine".into(),
                         ));
+                    }
+                    // A bounce is the governor's backpressure actuator at
+                    // work when the *destination* is under pressure (it is
+                    // the dest's inbox capacity the governor shrank): count
+                    // the deferred batch once, against the machine whose
+                    // pressure caused it.
+                    if !throttle_counted && self.governor.is_throttling(dest) {
+                        self.governor.record_throttled(dest);
+                        throttle_counted = true;
                     }
                     pending = back;
                     self.absorb_inbox()?;
@@ -489,6 +537,11 @@ impl MachineState {
             }
             // Keep the streaming shuffle flowing whatever segment runs next.
             self.absorb_inbox()?;
+            // Under Red pressure the DFS bias tightens into strict DFS:
+            // *only* the deepest non-done segment may run, so the machine
+            // drains partials towards the sink instead of starting shallower
+            // producers that generate new ones.
+            let strict = self.governor_tick()? == PressureLevel::Red;
             let mut progressed = false;
             for idx in (0..n).rev() {
                 let plan = &plans[idx];
@@ -547,8 +600,16 @@ impl MachineState {
                             }
                             StealOutcome::Pending => {
                                 // Peers still own the segment's remaining
-                                // work; fall through to shallower segments.
+                                // work; fall through to shallower segments —
+                                // unless strict DFS forbids generating new
+                                // work while a deeper segment is unfinished
+                                // (the segment resolves without us: peers
+                                // drain it or go idle, and we keep absorbing
+                                // the inbox from the park below).
                                 chains[idx] = Some(chain);
+                                if strict {
+                                    break;
+                                }
                             }
                         }
                     }
@@ -657,6 +718,17 @@ impl MachineState {
             if self.router.has_data() {
                 self.absorb_inbox()?;
             }
+            // Re-evaluate memory pressure every scheduling step; under Red
+            // the chain's own sealed join (if any) spills its not-yet-probed
+            // partitions too (`governor_tick` handles the pending builds).
+            if self.governor_tick()? == PressureLevel::Red {
+                if let ChainSource::Join(join) = &mut chain.source {
+                    if join.buffered_bytes() >= SPILL_WATERMARK_BYTES {
+                        let spilled = join.spill_to_disk()?;
+                        self.governor.record_spill(self.machine, spilled);
+                    }
+                }
+            }
             let has_input = match current {
                 0 => chain.source.has_more(),
                 i if i == terminal_idx => !queues.queue(num_extends).is_empty(),
@@ -713,10 +785,22 @@ impl MachineState {
                     }
                 };
                 let Some(produced) = produced else { break };
-                for chunk in produced.split_into_chunks(self.config.batch_size) {
+                for chunk in produced.split_into_chunks(self.effective_batch_size()) {
                     queues.queue(current).push(chunk);
                 }
+                // Re-check pressure after every batch landed in a queue: the
+                // feed loop is where memory actually grows, so the governor
+                // must be able to shrink the effective capacity *mid-feed*
+                // (otherwise a generous Green capacity lets one operator
+                // materialise its whole input before the next control step).
+                self.governor_tick()?;
                 if queues.queue(current).is_full() {
+                    // Under pressure the queue fills early because the
+                    // governor shrank it — that deferral is the throttling
+                    // the run report counts.
+                    if self.governor.is_throttling(self.machine) {
+                        self.governor.record_throttled(self.machine);
+                    }
                     break;
                 }
             }

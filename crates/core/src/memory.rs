@@ -9,7 +9,6 @@
 //! is the paper's `M` column.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Tracks current and peak bytes of intermediate results on one machine.
 #[derive(Debug, Default)]
@@ -31,9 +30,34 @@ impl MemoryTracker {
         self.peak.fetch_max(now, Ordering::Relaxed);
     }
 
-    /// Records a release of `bytes`.
+    /// Records a release of `bytes`, saturating at zero.
+    ///
+    /// Releasing more than is currently held is an accounting bug in the
+    /// caller: it used to silently drive `current` negative, which distorted
+    /// every later peak (allocations had to climb back through the deficit
+    /// before the high-water mark moved). Now the deficit is corrected at
+    /// release time and flagged with a `debug_assert!`.
     pub fn release(&self, bytes: u64) {
-        self.current.fetch_sub(bytes as i64, Ordering::Relaxed);
+        // A CAS loop (rather than fetch_sub + compensating fetch_add) keeps
+        // the saturation atomic: two racing over-releases must not both
+        // "correct" the same deficit and leave `current` inflated.
+        let mut prev = self.current.load(Ordering::Relaxed);
+        loop {
+            let after = prev - bytes as i64;
+            debug_assert!(
+                after >= 0,
+                "MemoryTracker::release({bytes}) underflows current ({prev}): over-release"
+            );
+            match self.current.compare_exchange_weak(
+                prev,
+                after.max(0),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => prev = observed,
+            }
+        }
     }
 
     /// Current bytes held.
@@ -58,38 +82,10 @@ impl huge_comm::QueueAccounting for MemoryTracker {
     }
 }
 
-/// Shared handles to every machine's tracker.
-#[derive(Clone, Debug)]
-pub struct ClusterMemory {
-    machines: Arc<Vec<MemoryTracker>>,
-}
-
-impl ClusterMemory {
-    /// Creates trackers for `k` machines.
-    pub fn new(k: usize) -> Self {
-        ClusterMemory {
-            machines: Arc::new((0..k).map(|_| MemoryTracker::new()).collect()),
-        }
-    }
-
-    /// The tracker of machine `m`.
-    pub fn machine(&self, m: usize) -> &MemoryTracker {
-        &self.machines[m]
-    }
-
-    /// Peak bytes over all machines (the paper's `M`).
-    pub fn peak(&self) -> u64 {
-        self.machines.iter().map(|t| t.peak()).max().unwrap_or(0)
-    }
-
-    /// Per-machine peaks.
-    pub fn peaks(&self) -> Vec<u64> {
-        self.machines.iter().map(|t| t.peak()).collect()
-    }
-}
-
 #[cfg(test)]
 mod tests {
+    use std::sync::Arc;
+
     use super::*;
 
     #[test]
@@ -104,39 +100,43 @@ mod tests {
     }
 
     #[test]
-    fn release_below_zero_saturates() {
+    #[cfg(not(debug_assertions))]
+    fn release_below_zero_saturates_and_keeps_peaks_honest() {
         let t = MemoryTracker::new();
         t.allocate(10);
         t.release(100);
         assert_eq!(t.current(), 0);
+        // An over-release must not distort later peaks: the next allocation
+        // starts from zero, not from a hidden negative baseline.
+        t.allocate(20);
+        assert_eq!(t.current(), 20);
+        assert_eq!(t.peak(), 20);
     }
 
     #[test]
-    fn cluster_peak_is_max_over_machines() {
-        let c = ClusterMemory::new(3);
-        c.machine(0).allocate(100);
-        c.machine(1).allocate(500);
-        c.machine(1).release(400);
-        c.machine(2).allocate(50);
-        assert_eq!(c.peak(), 500);
-        assert_eq!(c.peaks(), vec![100, 500, 50]);
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "over-release")]
+    fn over_release_is_detected_in_debug() {
+        let t = MemoryTracker::new();
+        t.allocate(10);
+        t.release(100);
     }
 
     #[test]
     fn concurrent_updates_do_not_lose_peak() {
-        let c = ClusterMemory::new(1);
+        let t = Arc::new(MemoryTracker::new());
         std::thread::scope(|s| {
             for _ in 0..4 {
-                let c = c.clone();
+                let t = Arc::clone(&t);
                 s.spawn(move || {
                     for _ in 0..1000 {
-                        c.machine(0).allocate(10);
-                        c.machine(0).release(10);
+                        t.allocate(10);
+                        t.release(10);
                     }
                 });
             }
         });
-        assert!(c.peak() >= 10);
-        assert_eq!(c.machine(0).current(), 0);
+        assert!(t.peak() >= 10);
+        assert_eq!(t.current(), 0);
     }
 }

@@ -34,6 +34,47 @@ pub struct MachineReport {
     pub segment_spans: Vec<Option<(Duration, Duration)>>,
 }
 
+/// What the memory governor did during a governed run (present only when
+/// [`ClusterConfig::memory_budget`](crate::config::ClusterConfig) was set).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GovernorReport {
+    /// The configured global budget in bytes.
+    pub budget_bytes: u64,
+    /// The per-machine share the governor enforced.
+    pub machine_budget_bytes: u64,
+    /// Transitions into Yellow pressure, summed over machines.
+    pub transitions_to_yellow: u64,
+    /// Transitions into Red pressure, summed over machines.
+    pub transitions_to_red: u64,
+    /// Batches deferred by governed backpressure (shrunken queue or inbox
+    /// capacities observed while under pressure).
+    pub throttled_batches: u64,
+    /// `PUSH-JOIN` buffer bytes flushed to disk by the spill actuator.
+    pub spilled_bytes: u64,
+    /// The run's peak tracked bytes (max over machines) — the number the
+    /// budget is judged against.
+    pub peak_bytes: u64,
+}
+
+impl GovernorReport {
+    /// Total pressure transitions.
+    pub fn transitions(&self) -> u64 {
+        self.transitions_to_yellow + self.transitions_to_red
+    }
+
+    /// `true` when the observed peak exceeded the per-machine budget (the
+    /// governor allows bounded overshoot: one batch per flow-control point,
+    /// the paper's overflow-by-at-most-one-batch slack).
+    pub fn over_budget(&self) -> bool {
+        self.peak_bytes > self.machine_budget_bytes
+    }
+
+    /// Headroom left under the per-machine budget (negative = overshoot).
+    pub fn headroom_bytes(&self) -> i64 {
+        self.machine_budget_bytes as i64 - self.peak_bytes as i64
+    }
+}
+
 /// The result of running one query on the cluster.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
@@ -68,6 +109,8 @@ pub struct RunReport {
     /// segments` under barriers — the regression handle for "machine threads
     /// are spawned once per run".
     pub machine_threads_spawned: usize,
+    /// What the memory governor did (`None` for ungoverned runs).
+    pub governor: Option<GovernorReport>,
     /// Per-machine breakdowns.
     pub machines: Vec<MachineReport>,
 }
@@ -235,6 +278,28 @@ mod tests {
         // saved 1s of barrier idle time.
         assert_eq!(report.barrier_bound(), Duration::from_secs(5));
         assert_eq!(report.overlap_saved(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn governor_report_budget_accounting() {
+        let report = GovernorReport {
+            budget_bytes: 4_000,
+            machine_budget_bytes: 1_000,
+            transitions_to_yellow: 3,
+            transitions_to_red: 2,
+            throttled_batches: 10,
+            spilled_bytes: 512,
+            peak_bytes: 900,
+        };
+        assert_eq!(report.transitions(), 5);
+        assert!(!report.over_budget());
+        assert_eq!(report.headroom_bytes(), 100);
+        let over = GovernorReport {
+            peak_bytes: 1_200,
+            ..report
+        };
+        assert!(over.over_budget());
+        assert_eq!(over.headroom_bytes(), -200);
     }
 
     #[test]

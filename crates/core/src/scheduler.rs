@@ -49,13 +49,25 @@ use crate::operators::ScanPool;
 pub struct SharedQueue {
     batches: Mutex<VecDeque<RowBatch>>,
     rows: AtomicUsize,
-    capacity_rows: usize,
+    /// The *effective* row capacity. Queues created through
+    /// [`SharedQueue::governed`] share one handle per machine, so the memory
+    /// governor can shrink/grow every queue of a machine with a single
+    /// store; [`SharedQueue::new`] wraps a private handle for the static
+    /// case.
+    capacity_rows: Arc<AtomicUsize>,
     memory: Option<Arc<MemoryTracker>>,
 }
 
 impl SharedQueue {
-    /// Creates a queue with a row capacity.
+    /// Creates a queue with a fixed row capacity.
     pub fn new(capacity_rows: usize, memory: Option<Arc<MemoryTracker>>) -> Self {
+        SharedQueue::governed(Arc::new(AtomicUsize::new(capacity_rows)), memory)
+    }
+
+    /// Creates a queue whose effective capacity is read from a shared,
+    /// runtime-adjustable handle (the memory governor's actuator for
+    /// operator output queues).
+    pub fn governed(capacity_rows: Arc<AtomicUsize>, memory: Option<Arc<MemoryTracker>>) -> Self {
         SharedQueue {
             batches: Mutex::new(VecDeque::new()),
             rows: AtomicUsize::new(0),
@@ -64,9 +76,9 @@ impl SharedQueue {
         }
     }
 
-    /// The configured row capacity.
+    /// The current effective row capacity.
     pub fn capacity_rows(&self) -> usize {
-        self.capacity_rows
+        self.capacity_rows.load(Ordering::Relaxed)
     }
 
     /// Number of rows currently queued.
@@ -86,7 +98,7 @@ impl SharedQueue {
 
     /// `true` when the queue has reached (or overflowed) its capacity.
     pub fn is_full(&self) -> bool {
-        self.rows() >= self.capacity_rows
+        self.rows() >= self.capacity_rows()
     }
 
     /// Enqueues a batch (always succeeds; capacity is checked by the caller
@@ -157,11 +169,26 @@ pub struct SegmentQueues {
 }
 
 impl SegmentQueues {
-    /// Creates `num_ops` queues with the given row capacity.
+    /// Creates `num_ops` queues with the given (fixed) row capacity.
     pub fn new(num_ops: usize, capacity_rows: usize, memory: Option<Arc<MemoryTracker>>) -> Self {
+        SegmentQueues::governed(num_ops, Arc::new(AtomicUsize::new(capacity_rows)), memory)
+    }
+
+    /// Creates `num_ops` queues sharing one runtime-adjustable capacity
+    /// handle (see [`SharedQueue::governed`]).
+    pub fn governed(
+        num_ops: usize,
+        capacity_rows: Arc<AtomicUsize>,
+        memory: Option<Arc<MemoryTracker>>,
+    ) -> Self {
         SegmentQueues {
             queues: (0..num_ops)
-                .map(|_| Arc::new(SharedQueue::new(capacity_rows, memory.clone())))
+                .map(|_| {
+                    Arc::new(SharedQueue::governed(
+                        Arc::clone(&capacity_rows),
+                        memory.clone(),
+                    ))
+                })
                 .collect(),
         }
     }
@@ -316,6 +343,22 @@ mod tests {
         q.push(batch(6));
         assert!(q.is_full());
         assert_eq!(q.capacity_rows(), 10);
+    }
+
+    #[test]
+    fn governed_capacity_is_shared_and_adjustable() {
+        let handle = Arc::new(AtomicUsize::new(100));
+        let queues = SegmentQueues::governed(2, Arc::clone(&handle), None);
+        queues.queue(0).push(batch(10));
+        assert!(!queues.queue(0).is_full());
+        // One store shrinks every queue behind the handle.
+        handle.store(5, Ordering::Relaxed);
+        assert!(queues.queue(0).is_full());
+        assert!(!queues.queue(1).is_full());
+        assert_eq!(queues.queue(1).capacity_rows(), 5);
+        // Growing re-opens the queue without draining it.
+        handle.store(50, Ordering::Relaxed);
+        assert!(!queues.queue(0).is_full());
     }
 
     #[test]
