@@ -131,17 +131,21 @@ fn dfs(
             (m != u32::MAX).then_some(m)
         })
         .collect();
-    // Intersect the cached neighbour lists.
-    let mut candidates: Option<Vec<VertexId>> = None;
-    for &b in &bound {
+    // Intersect the cached neighbour lists (adaptive merge/gallop kernel).
+    let mut candidates: Vec<VertexId> = Vec::new();
+    for (i, &b) in bound.iter().enumerate() {
         let nbrs = &*cache.entry(b).or_insert_with(|| store.get(b));
-        candidates = Some(match candidates {
-            None => nbrs.clone(),
-            Some(prev) => huge_graph::graph::intersect_sorted(&prev, nbrs),
-        });
+        if i == 0 {
+            candidates.extend_from_slice(nbrs);
+        } else {
+            huge_graph::kernels::intersect_in_place(&mut candidates, nbrs);
+        }
+        if candidates.is_empty() {
+            break;
+        }
     }
     let mut count = 0;
-    for c in candidates.unwrap_or_default() {
+    for c in candidates {
         if assignment.contains(&c) {
             continue;
         }

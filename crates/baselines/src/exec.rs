@@ -371,7 +371,12 @@ impl BatchOperator for StarScan {
                 OpPoll::Pending
             })
         } else {
-            Ok(OpPoll::Ready(batch))
+            let cols = huge_comm::ColBatch::from_rows(&batch);
+            ctx.rpc
+                .stats()
+                .machine(ctx.machine)
+                .record_col_bytes(cols.byte_size());
+            Ok(OpPoll::Ready(cols))
         }
     }
 }
@@ -400,7 +405,9 @@ pub fn scan_star(
             let mut scan = StarScan::new(leaves.len(), filters.clone());
             let mut rows = RowBatch::new(arity);
             let mut ops: [&mut dyn BatchOperator; 1] = [&mut scan];
-            let res = run_pipeline(&mut ops, &op_ctx, &mut |mut batch| rows.append(&mut batch));
+            let res = run_pipeline(&mut ops, &op_ctx, &mut |batch| {
+                rows.append(&mut batch.into_rows());
+            });
             out.push((m, res.map(|()| rows)));
         },
     );
@@ -637,8 +644,8 @@ pub fn hash_join_pushing(
                 let op_ctx = shared.op_context(m);
                 join.finish_input(&op_ctx)?;
                 let mut rows = RowBatch::new(out_arity);
-                while let OpPoll::Ready(mut batch) = join.poll_next(&op_ctx)? {
-                    rows.append(&mut batch);
+                while let OpPoll::Ready(batch) = join.poll_next(&op_ctx)? {
+                    rows.append(&mut batch.into_rows());
                 }
                 Ok(rows)
             });
@@ -737,17 +744,22 @@ pub fn wco_extend_pushing(
         current.into_iter().enumerate().collect::<Vec<_>>(),
         |(m, buffered), out: &mut Vec<(usize, RowBatch)>| {
             let mut rows = RowBatch::new(out_arity);
+            let mut candidates: Vec<VertexId> = Vec::new();
             for row in buffered.rows() {
-                let mut candidates: Option<Vec<VertexId>> = None;
-                for &p in &positions {
+                candidates.clear();
+                for (i, &p) in positions.iter().enumerate() {
                     let nbrs = shared.partitions[0].any_neighbours(row[p]);
-                    candidates = Some(match candidates {
-                        None => nbrs.to_vec(),
-                        Some(prev) => huge_graph::graph::intersect_sorted(&prev, nbrs),
-                    });
+                    if i == 0 {
+                        candidates.extend_from_slice(nbrs);
+                    } else {
+                        huge_graph::kernels::intersect_in_place(&mut candidates, nbrs);
+                    }
+                    if candidates.is_empty() {
+                        break;
+                    }
                 }
                 let mut joined = Vec::with_capacity(row.len() + 1);
-                for c in candidates.unwrap_or_default() {
+                for &c in &candidates {
                     if row.contains(&c) {
                         continue;
                     }

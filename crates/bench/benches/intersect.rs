@@ -3,6 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use huge_graph::graph::{intersect_many, intersect_sorted};
+use huge_graph::kernels::{
+    intersect_count_adaptive, intersect_count_bitmap, intersect_count_gallop,
+    intersect_count_merge, HubBitmap,
+};
 
 fn sorted_list(len: usize, stride: u32, offset: u32) -> Vec<u32> {
     (0..len as u32).map(|i| i * stride + offset).collect()
@@ -40,5 +44,69 @@ fn bench_multiway(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pairwise, bench_multiway);
+/// Skewed cardinalities (1:64 and 1:1024): the regime where galloping search
+/// should leave sorted-merge behind. Each kernel counts the same
+/// intersection; the small side is a strided subset of the large one so the
+/// result is non-trivial.
+fn bench_skewed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect_skewed");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for ratio in [64usize, 1024] {
+        let small_len = 256usize;
+        let large = sorted_list(small_len * ratio, 1, 0);
+        // Every other probe hits (even stride lands in `large`, odd offset
+        // overshoots its tail half the time).
+        let small: Vec<u32> = (0..small_len as u32)
+            .map(|i| i * ratio as u32 + (i % 2))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("merge", ratio), &ratio, |bencher, _| {
+            bencher.iter(|| intersect_count_merge(&small, &large))
+        });
+        group.bench_with_input(BenchmarkId::new("gallop", ratio), &ratio, |bencher, _| {
+            bencher.iter(|| intersect_count_gallop(&small, &large))
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive", ratio), &ratio, |bencher, _| {
+            bencher.iter(|| intersect_count_adaptive(&small, &large).0)
+        });
+    }
+    group.finish();
+}
+
+/// Hub-bitmap intersect: probing a pre-built block-skipping bitmap of a hub
+/// adjacency list versus re-merging the raw sorted list on every call.
+fn bench_hub_bitmap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect_hub_bitmap");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for hub_degree in [4 * 1024usize, 64 * 1024] {
+        let hub = sorted_list(hub_degree, 3, 0);
+        let bitmap = HubBitmap::build(&hub);
+        let probe = sorted_list(512, 7, 1);
+        group.bench_with_input(
+            BenchmarkId::new("bitmap", hub_degree),
+            &hub_degree,
+            |bencher, _| bencher.iter(|| intersect_count_bitmap(&probe, &bitmap)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("merge", hub_degree),
+            &hub_degree,
+            |bencher, _| bencher.iter(|| intersect_count_merge(&probe, &hub)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gallop", hub_degree),
+            &hub_degree,
+            |bencher, _| bencher.iter(|| intersect_count_gallop(&probe, &hub)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pairwise,
+    bench_multiway,
+    bench_skewed,
+    bench_hub_bitmap
+);
 criterion_main!(benches);

@@ -1,10 +1,22 @@
-//! Fixed-arity row batches.
+//! Fixed-arity batches of partial matches, in two physical layouts.
 //!
 //! Every operator in HUGE processes data in *batches* (§4.2): a batch of
 //! partial matches is the minimum scheduling and communication unit. A
 //! partial match is a compact array of data-vertex ids (one per bound query
-//! vertex), so a batch of `n` rows of arity `a` is a flat `Vec<u32>` of
-//! length `n · a` — cache friendly and cheap to ship.
+//! vertex). Two layouts coexist:
+//!
+//! * [`RowBatch`] — row-major: `n` rows of arity `a` as one flat `Vec<u32>`
+//!   of length `n · a`. This is the **wire format**: shuffles, RPC
+//!   envelopes and the join build side ship rows, which serialise for free.
+//! * [`ColBatch`] — columnar: one dense `Vec<u32>` per bound query vertex,
+//!   plus an optional *selection vector* of surviving row indices. This is
+//!   the **operator currency**: an extension appends one candidate column
+//!   instead of rewriting `a + 1`-wide rows, and a filter narrows the
+//!   selection instead of compacting the data.
+//!
+//! Conversions ([`ColBatch::from_rows`] / [`ColBatch::into_rows`]) are the
+//! boundary between the two worlds; engines that have not migrated keep
+//! speaking `RowBatch` end to end.
 
 use huge_graph::VertexId;
 
@@ -156,6 +168,258 @@ impl RowBatch {
     }
 }
 
+/// A batch of fixed-arity partial matches in columnar layout.
+///
+/// Column `c` holds the binding of query vertex `c` for every *physical*
+/// row; all columns have equal length. An optional selection vector — a
+/// strictly ascending list of physical row indices — marks the rows that
+/// are logically present. Filters narrow the selection without touching
+/// column data; [`ColBatch::compact`] materialises the selection when a
+/// dense layout is needed (chunking, wire conversion).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ColBatch {
+    cols: Vec<Vec<VertexId>>,
+    sel: Option<Vec<u32>>,
+}
+
+impl ColBatch {
+    /// Creates an empty batch of the given arity.
+    pub fn new(arity: usize) -> Self {
+        assert!(arity > 0, "rows must bind at least one query vertex");
+        ColBatch {
+            cols: vec![Vec::new(); arity],
+            sel: None,
+        }
+    }
+
+    /// Creates an empty batch with space reserved for `rows` rows.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        assert!(arity > 0);
+        ColBatch {
+            cols: (0..arity).map(|_| Vec::with_capacity(rows)).collect(),
+            sel: None,
+        }
+    }
+
+    /// Builds a batch from pre-assembled columns of equal length.
+    pub fn from_columns(cols: Vec<Vec<VertexId>>) -> Self {
+        assert!(!cols.is_empty(), "rows must bind at least one query vertex");
+        assert!(
+            cols.windows(2).all(|w| w[0].len() == w[1].len()),
+            "columns must have equal length"
+        );
+        ColBatch { cols, sel: None }
+    }
+
+    /// Transposes a row-major batch into columns (no selection).
+    pub fn from_rows(rows: &RowBatch) -> Self {
+        let arity = rows.arity();
+        let mut cols: Vec<Vec<VertexId>> =
+            (0..arity).map(|_| Vec::with_capacity(rows.len())).collect();
+        for row in rows.rows() {
+            for (c, &v) in row.iter().enumerate() {
+                cols[c].push(v);
+            }
+        }
+        ColBatch { cols, sel: None }
+    }
+
+    /// Transposes into a row-major batch, honouring the selection.
+    pub fn to_rows(&self) -> RowBatch {
+        let arity = self.arity();
+        let mut out = RowBatch::with_capacity(arity, self.len());
+        let mut row = Vec::with_capacity(arity);
+        for i in 0..self.len() {
+            row.clear();
+            self.read_row(i, &mut row);
+            out.push_row(&row);
+        }
+        out
+    }
+
+    /// Consumes the batch, producing its row-major equivalent.
+    pub fn into_rows(self) -> RowBatch {
+        self.to_rows()
+    }
+
+    /// Number of columns (bound query vertices).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of *logical* rows (selected rows when a selection is set).
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.sel {
+            Some(sel) => sel.len(),
+            None => self.cols[0].len(),
+        }
+    }
+
+    /// Number of physical rows stored in the columns.
+    #[inline]
+    pub fn physical_rows(&self) -> usize {
+        self.cols[0].len()
+    }
+
+    /// `true` when no logical rows remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical index of logical row `i`.
+    #[inline]
+    fn phys(&self, i: usize) -> usize {
+        match &self.sel {
+            Some(sel) => sel[i] as usize,
+            None => i,
+        }
+    }
+
+    /// The binding of query vertex `col` in logical row `i`.
+    #[inline]
+    pub fn value(&self, col: usize, i: usize) -> VertexId {
+        self.cols[col][self.phys(i)]
+    }
+
+    /// Physical index of logical row `i` (what a narrowed selection must
+    /// reference when filters re-select an already-selected batch).
+    #[inline]
+    pub fn physical_index(&self, i: usize) -> usize {
+        self.phys(i)
+    }
+
+    /// Appends the values of logical row `i` to `out`.
+    #[inline]
+    pub fn read_row(&self, i: usize, out: &mut Vec<VertexId>) {
+        let p = self.phys(i);
+        for col in &self.cols {
+            out.push(col[p]);
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics (debug) if a selection is set — builders append to dense
+    /// batches only.
+    #[inline]
+    pub fn push_row(&mut self, row: &[VertexId]) {
+        debug_assert!(self.sel.is_none(), "cannot append under a selection");
+        debug_assert_eq!(row.len(), self.arity());
+        for (col, &v) in self.cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// The physical (unfiltered) data of column `c`.
+    #[inline]
+    pub fn column(&self, c: usize) -> &[VertexId] {
+        &self.cols[c]
+    }
+
+    /// The selection vector, if one is set.
+    pub fn selection(&self) -> Option<&[u32]> {
+        self.sel.as_deref()
+    }
+
+    /// Installs a selection vector (strictly ascending physical indices).
+    ///
+    /// Replaces any existing selection, so callers narrowing an already
+    /// selected batch must compose indices themselves.
+    pub fn set_selection(&mut self, sel: Vec<u32>) {
+        debug_assert!(
+            sel.windows(2).all(|w| w[0] < w[1]),
+            "selection not ascending"
+        );
+        debug_assert!(
+            sel.last()
+                .is_none_or(|&i| (i as usize) < self.physical_rows()),
+            "selection index out of range"
+        );
+        self.sel = Some(sel);
+    }
+
+    /// Drops the selection, making every physical row logical again.
+    pub fn clear_selection(&mut self) {
+        self.sel = None;
+    }
+
+    /// Materialises the selection: unselected rows are discarded and the
+    /// selection vector is dropped. No-op for dense batches.
+    pub fn compact(&mut self) {
+        let Some(sel) = self.sel.take() else { return };
+        for col in &mut self.cols {
+            for (w, &p) in sel.iter().enumerate() {
+                col[w] = col[p as usize];
+            }
+            col.truncate(sel.len());
+        }
+    }
+
+    /// Moves all logical rows of `other` into `self` (both compacted).
+    ///
+    /// # Panics
+    /// Panics if arities differ.
+    pub fn append(&mut self, other: &mut ColBatch) {
+        assert_eq!(
+            self.arity(),
+            other.arity(),
+            "cannot append mismatched arity"
+        );
+        self.compact();
+        other.compact();
+        for (dst, src) in self.cols.iter_mut().zip(other.cols.iter_mut()) {
+            dst.append(src);
+        }
+    }
+
+    /// Splits off the last `rows` logical rows into a new batch (work
+    /// stealing hands half a queue entry to another worker).
+    pub fn split_off_back(&mut self, rows: usize) -> ColBatch {
+        self.compact();
+        let rows = rows.min(self.len());
+        let at = self.physical_rows() - rows;
+        ColBatch {
+            cols: self.cols.iter_mut().map(|c| c.split_off(at)).collect(),
+            sel: None,
+        }
+    }
+
+    /// Splits this batch into dense chunks of at most `rows_per_chunk`
+    /// logical rows. A batch that already fits is handed back as-is (after
+    /// compaction), so the common case moves buffers instead of copying.
+    pub fn split_into_chunks(mut self, rows_per_chunk: usize) -> Vec<ColBatch> {
+        assert!(rows_per_chunk > 0);
+        self.compact();
+        if self.len() <= rows_per_chunk {
+            return vec![self];
+        }
+        let arity = self.arity();
+        let chunks = self.len().div_ceil(rows_per_chunk);
+        let mut out: Vec<ColBatch> = (0..chunks)
+            .map(|_| ColBatch::with_capacity(arity, rows_per_chunk))
+            .collect();
+        for (c, col) in self.cols.into_iter().enumerate() {
+            for (k, piece) in col.chunks(rows_per_chunk).enumerate() {
+                out[k].cols[c].extend_from_slice(piece);
+            }
+        }
+        out
+    }
+
+    /// Heap bytes held by the batch: column data plus the selection vector.
+    /// This is what queue accounting and the memory governor charge.
+    #[inline]
+    pub fn byte_size(&self) -> u64 {
+        let vals: usize = self.cols.iter().map(Vec::len).sum();
+        let sel = self.sel.as_ref().map_or(0, Vec::len);
+        (vals * std::mem::size_of::<VertexId>() + sel * std::mem::size_of::<u32>()) as u64
+    }
+}
+
 /// Owning chunk iterator over a [`RowBatch`] (see [`RowBatch::chunked`]).
 #[derive(Debug)]
 pub struct Chunked {
@@ -276,6 +540,89 @@ mod tests {
     #[should_panic(expected = "multiple of arity")]
     fn from_flat_checks_arity() {
         RowBatch::from_flat(3, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn col_batch_round_trips_rows() {
+        let rows = RowBatch::from_flat(3, (0..12).collect());
+        let cols = ColBatch::from_rows(&rows);
+        assert_eq!(cols.arity(), 3);
+        assert_eq!(cols.len(), 4);
+        assert_eq!(cols.column(0), &[0, 3, 6, 9]);
+        assert_eq!(cols.column(2), &[2, 5, 8, 11]);
+        assert_eq!(cols.to_rows(), rows);
+        assert_eq!(cols.into_rows(), rows);
+    }
+
+    #[test]
+    fn col_batch_selection_filters_rows() {
+        let rows = RowBatch::from_flat(2, (0..10).collect());
+        let mut cols = ColBatch::from_rows(&rows);
+        cols.set_selection(vec![1, 3, 4]);
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols.physical_rows(), 5);
+        assert_eq!(cols.value(0, 0), 2);
+        assert_eq!(cols.value(1, 2), 9);
+        let mut row = Vec::new();
+        cols.read_row(1, &mut row);
+        assert_eq!(row, vec![6, 7]);
+        // Conversion honours the selection.
+        let back = cols.to_rows();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.row(0), &[2, 3]);
+        assert_eq!(back.row(2), &[8, 9]);
+        // byte_size charges data + selection until compaction.
+        assert_eq!(cols.byte_size(), (10 + 3) * 4);
+        cols.compact();
+        assert_eq!(cols.byte_size(), 6 * 4);
+        assert_eq!(cols.selection(), None);
+        assert_eq!(cols.to_rows(), back);
+    }
+
+    #[test]
+    fn col_batch_push_and_append() {
+        let mut a = ColBatch::new(2);
+        a.push_row(&[1, 2]);
+        a.push_row(&[3, 4]);
+        let mut b = ColBatch::from_columns(vec![vec![5, 7], vec![6, 8]]);
+        b.set_selection(vec![1]);
+        a.append(&mut b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.column(0), &[1, 3, 7]);
+        assert_eq!(a.column(1), &[2, 4, 8]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn col_batch_split_into_chunks_is_dense_and_total() {
+        let mut cols = ColBatch::from_rows(&RowBatch::from_flat(2, (0..40).collect()));
+        cols.set_selection((0..20).filter(|i| i % 2 == 0).collect());
+        let chunks = cols.split_into_chunks(3);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0].len(), 3);
+        assert_eq!(chunks[3].len(), 1);
+        let first: Vec<u32> = chunks.iter().flat_map(|c| c.column(0).to_vec()).collect();
+        assert_eq!(first, vec![0, 4, 8, 12, 16, 20, 24, 28, 32, 36]);
+        // A batch that fits in one chunk is returned whole.
+        let small = ColBatch::from_columns(vec![vec![1, 2]]);
+        let same = small.clone().split_into_chunks(10);
+        assert_eq!(same, vec![small]);
+    }
+
+    #[test]
+    fn col_batch_split_off_back() {
+        let mut cols = ColBatch::from_columns(vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]]);
+        let tail = cols.split_off_back(1);
+        assert_eq!(cols.len(), 3);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail.column(0), &[4]);
+        assert_eq!(tail.column(1), &[8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn col_batch_checks_column_lengths() {
+        ColBatch::from_columns(vec![vec![1, 2], vec![3]]);
     }
 
     #[test]

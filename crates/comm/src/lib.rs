@@ -29,7 +29,7 @@ pub mod router;
 pub mod rpc;
 pub mod stats;
 
-pub use batch::RowBatch;
+pub use batch::{ColBatch, RowBatch};
 pub use kv::ExternalKvStore;
 pub use network::NetworkModel;
 pub use router::{PushEnvelope, QueueAccounting, Router, RouterEndpoint};

@@ -118,8 +118,7 @@ mod tests {
             push_messages: 2,
             rpc_requests: 1,
             vertices_fetched: 10,
-            bytes_stolen: 0,
-            steals: 0,
+            ..Default::default()
         };
         assert_eq!(m.time_for_snapshot(&snap), m.time_for(1500, 3));
     }

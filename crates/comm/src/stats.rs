@@ -21,6 +21,15 @@ pub struct CommStats {
     pub bytes_stolen: AtomicU64,
     /// Number of successful inter-machine steal operations.
     pub steals: AtomicU64,
+    /// Sorted-merge intersection kernel invocations.
+    pub kernel_merge: AtomicU64,
+    /// Galloping intersection kernel invocations.
+    pub kernel_gallop: AtomicU64,
+    /// Hub-bitmap intersection kernel invocations.
+    pub kernel_bitmap: AtomicU64,
+    /// Bytes of columnar batches produced by this machine's operators (what
+    /// the memory governor charges for in-flight columnar data).
+    pub col_bytes: AtomicU64,
 }
 
 impl CommStats {
@@ -49,6 +58,25 @@ impl CommStats {
         self.steals.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a batch of intersection-kernel invocations (one flush per
+    /// work item keeps the hot loop free of shared-counter traffic).
+    pub fn record_kernels(&self, merge: u64, gallop: u64, bitmap: u64) {
+        if merge > 0 {
+            self.kernel_merge.fetch_add(merge, Ordering::Relaxed);
+        }
+        if gallop > 0 {
+            self.kernel_gallop.fetch_add(gallop, Ordering::Relaxed);
+        }
+        if bitmap > 0 {
+            self.kernel_bitmap.fetch_add(bitmap, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `bytes` of columnar batch data produced by an operator.
+    pub fn record_col_bytes(&self, bytes: u64) {
+        self.col_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> CommSnapshot {
         CommSnapshot {
@@ -59,6 +87,10 @@ impl CommStats {
             vertices_fetched: self.vertices_fetched.load(Ordering::Relaxed),
             bytes_stolen: self.bytes_stolen.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
+            kernel_merge: self.kernel_merge.load(Ordering::Relaxed),
+            kernel_gallop: self.kernel_gallop.load(Ordering::Relaxed),
+            kernel_bitmap: self.kernel_bitmap.load(Ordering::Relaxed),
+            col_bytes: self.col_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,6 +112,14 @@ pub struct CommSnapshot {
     pub bytes_stolen: u64,
     /// Number of steals.
     pub steals: u64,
+    /// Sorted-merge intersection kernel invocations.
+    pub kernel_merge: u64,
+    /// Galloping intersection kernel invocations.
+    pub kernel_gallop: u64,
+    /// Hub-bitmap intersection kernel invocations.
+    pub kernel_bitmap: u64,
+    /// Bytes of columnar batches produced by the operator layer.
+    pub col_bytes: u64,
 }
 
 impl CommSnapshot {
@@ -93,6 +133,11 @@ impl CommSnapshot {
         self.push_messages + self.rpc_requests + self.steals
     }
 
+    /// Total intersection-kernel invocations across the whole family.
+    pub fn kernel_invocations(&self) -> u64 {
+        self.kernel_merge + self.kernel_gallop + self.kernel_bitmap
+    }
+
     /// Element-wise sum of two snapshots.
     pub fn merge(&self, other: &CommSnapshot) -> CommSnapshot {
         CommSnapshot {
@@ -103,6 +148,10 @@ impl CommSnapshot {
             vertices_fetched: self.vertices_fetched + other.vertices_fetched,
             bytes_stolen: self.bytes_stolen + other.bytes_stolen,
             steals: self.steals + other.steals,
+            kernel_merge: self.kernel_merge + other.kernel_merge,
+            kernel_gallop: self.kernel_gallop + other.kernel_gallop,
+            kernel_bitmap: self.kernel_bitmap + other.kernel_bitmap,
+            col_bytes: self.col_bytes + other.col_bytes,
         }
     }
 }
@@ -155,6 +204,8 @@ mod tests {
         stats.record_push(50);
         stats.record_pull(3, 300);
         stats.record_steal(10);
+        stats.record_kernels(5, 2, 1);
+        stats.record_col_bytes(128);
         let s = stats.snapshot();
         assert_eq!(s.bytes_pushed, 150);
         assert_eq!(s.push_messages, 2);
@@ -163,6 +214,11 @@ mod tests {
         assert_eq!(s.rpc_requests, 1);
         assert_eq!(s.total_bytes(), 460);
         assert_eq!(s.total_messages(), 4);
+        assert_eq!(s.kernel_merge, 5);
+        assert_eq!(s.kernel_gallop, 2);
+        assert_eq!(s.kernel_bitmap, 1);
+        assert_eq!(s.kernel_invocations(), 8);
+        assert_eq!(s.col_bytes, 128);
     }
 
     #[test]

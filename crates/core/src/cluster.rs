@@ -47,7 +47,12 @@ impl HugeCluster {
         config.validate().map_err(EngineError::Config)?;
         let stats = GraphStats::of_cheap(&graph);
         let estimator = HybridEstimator::from_graph(&graph);
-        let partitions = Partitioner::new(config.machines)?.partition(graph);
+        let mut partitions = Partitioner::new(config.machines)?.partition(graph);
+        // Hub bitmaps are built once per partition and shared by every run on
+        // this cluster (the intersection kernels dispatch on them).
+        for p in &mut partitions {
+            p.build_hub_index(config.hub_degree_threshold);
+        }
         Ok(HugeCluster {
             config,
             partitions: Arc::new(partitions),

@@ -83,6 +83,10 @@ pub struct ClusterConfig {
     pub disable_cache: bool,
     /// In-memory buffer per `PUSH-JOIN` side before spilling to disk, bytes.
     pub join_buffer_bytes: u64,
+    /// Local vertices whose degree reaches this threshold get a cached
+    /// bitmap in the partition's hub index, switching their intersections to
+    /// the block-skipping bitmap kernel. `0` disables hub bitmaps.
+    pub hub_degree_threshold: usize,
     /// Load-balancing strategy.
     pub load_balance: LoadBalance,
     /// Enable inter-machine work stealing (only meaningful with
@@ -127,6 +131,7 @@ impl ClusterConfig {
             cache_kind: CacheKind::Lrbu,
             disable_cache: false,
             join_buffer_bytes: 64 * 1024 * 1024,
+            hub_degree_threshold: 256,
             load_balance: LoadBalance::WorkStealing,
             inter_machine_stealing: true,
             pipeline_segments: true,
@@ -216,6 +221,12 @@ impl ClusterConfig {
     /// Sets the per-side `PUSH-JOIN` buffer threshold before disk spill.
     pub fn join_buffer_bytes(mut self, bytes: u64) -> Self {
         self.join_buffer_bytes = bytes.max(1024);
+        self
+    }
+
+    /// Sets the hub-bitmap degree threshold (`0` disables hub bitmaps).
+    pub fn hub_degree_threshold(mut self, degree: usize) -> Self {
+        self.hub_degree_threshold = degree;
         self
     }
 

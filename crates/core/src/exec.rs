@@ -2,7 +2,8 @@
 //!
 //! Every engine in this workspace — the HUGE engine itself *and* the
 //! baseline systems in `huge-baselines` — executes physical operators over
-//! [`RowBatch`]es through this module:
+//! columnar [`ColBatch`]es through this module (row-major [`RowBatch`]es
+//! remain the wire format of the shuffle paths):
 //!
 //! * [`OpContext`] bundles what any operator needs from the machine it runs
 //!   on: the graph partition, the pulling fabric, the adjacency cache, the
@@ -28,12 +29,12 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use huge_cache::PullCache;
-use huge_comm::{MachineId, RowBatch, RpcFabric};
+use huge_comm::{ColBatch, MachineId, RowBatch, RpcFabric};
 use huge_graph::GraphPartition;
 use huge_plan::translate::{ExtendOp, JoinOp, ScanOp};
 
 use crate::join::{key_hash, HashJoiner, JoinSide, JoinStream, MemoryTrackerHandle};
-use crate::operators::{run_extend, ScanCursor, ScanPool};
+use crate::operators::{run_extend_cols, run_extend_count_cols, ScanCursor, ScanPool};
 use crate::pool::WorkerPool;
 use crate::{EngineError, Result};
 
@@ -59,7 +60,7 @@ pub struct OpContext<'a> {
 #[derive(Debug)]
 pub enum OpPoll {
     /// A batch of output rows was produced.
-    Ready(RowBatch),
+    Ready(ColBatch),
     /// No output is available now, but more input may still arrive.
     Pending,
     /// The operator has produced everything it ever will.
@@ -80,7 +81,7 @@ pub trait BatchOperator {
     fn output_arity(&self) -> usize;
 
     /// Feeds one input batch. The default rejects input (source operators).
-    fn push_input(&mut self, input: RowBatch, ctx: &OpContext<'_>) -> Result<()> {
+    fn push_input(&mut self, input: ColBatch, ctx: &OpContext<'_>) -> Result<()> {
         let _ = (input, ctx);
         Err(EngineError::Config(format!(
             "{} is a source operator and takes no input",
@@ -135,7 +136,16 @@ impl BatchOperator for ScanSource {
 
     fn poll_next(&mut self, ctx: &OpContext<'_>) -> Result<OpPoll> {
         match self.cursor.next_batch(ctx) {
-            Some(batch) => Ok(OpPoll::Ready(batch)),
+            Some(batch) => {
+                // The cursor assembles rows; transpose once into the columnar
+                // operator currency and charge the column bytes.
+                let cols = ColBatch::from_rows(&batch);
+                ctx.rpc
+                    .stats()
+                    .machine(ctx.machine)
+                    .record_col_bytes(cols.byte_size());
+                Ok(OpPoll::Ready(cols))
+            }
             // The pool may be refilled by work stealing, so an empty pool is
             // only `Exhausted` from the caller's termination protocol.
             None => Ok(OpPoll::Exhausted),
@@ -160,7 +170,7 @@ impl BatchOperator for ScanSource {
 /// final extension column dominates the materialised volume.
 pub struct PullExtend {
     op: ExtendOp,
-    inputs: VecDeque<RowBatch>,
+    inputs: VecDeque<ColBatch>,
     input_done: bool,
     out_arity: usize,
     count_only: bool,
@@ -229,7 +239,7 @@ impl BatchOperator for PullExtend {
         self.out_arity
     }
 
-    fn push_input(&mut self, input: RowBatch, _ctx: &OpContext<'_>) -> Result<()> {
+    fn push_input(&mut self, input: ColBatch, _ctx: &OpContext<'_>) -> Result<()> {
         self.out_arity = if self.op.verify_position.is_some() {
             input.arity()
         } else {
@@ -253,7 +263,7 @@ impl BatchOperator for PullExtend {
             });
         };
         if self.count_only {
-            let out = crate::operators::run_extend_count(&self.op, &input, ctx);
+            let out = run_extend_count_cols(&self.op, &input, ctx);
             self.counted += out.count;
             self.absorb_timings(out.fetch_time, &out.worker_busy);
             return Ok(if self.input_done && self.inputs.is_empty() {
@@ -262,7 +272,7 @@ impl BatchOperator for PullExtend {
                 OpPoll::Pending
             });
         }
-        let out = run_extend(&self.op, &input, ctx);
+        let out = run_extend_cols(&self.op, input, ctx);
         self.absorb_timings(out.fetch_time, &out.worker_busy);
         Ok(OpPoll::Ready(out.batch))
     }
@@ -367,7 +377,7 @@ impl BatchOperator for PushJoin {
         self.out_arity
     }
 
-    fn push_input(&mut self, _input: RowBatch, _ctx: &OpContext<'_>) -> Result<()> {
+    fn push_input(&mut self, _input: ColBatch, _ctx: &OpContext<'_>) -> Result<()> {
         Err(EngineError::Config(
             "PUSH-JOIN is a binary operator: feed it through push_side(JoinSide, ..)".into(),
         ))
@@ -382,11 +392,15 @@ impl BatchOperator for PushJoin {
         Ok(())
     }
 
-    fn poll_next(&mut self, _ctx: &OpContext<'_>) -> Result<OpPoll> {
+    fn poll_next(&mut self, ctx: &OpContext<'_>) -> Result<OpPoll> {
         if let Some(stream) = self.stream.as_mut() {
             match stream.next_batch()? {
                 Some(batch) => {
                     self.produced += batch.len() as u64;
+                    ctx.rpc
+                        .stats()
+                        .machine(ctx.machine)
+                        .record_col_bytes(batch.byte_size());
                     return Ok(OpPoll::Ready(batch));
                 }
                 None => {
@@ -423,6 +437,24 @@ pub fn partition_by_key(batch: &RowBatch, key_positions: &[usize], k: usize) -> 
     out
 }
 
+/// Hash-partitions the logical rows of a columnar batch over `k` machines by
+/// the given key columns, producing the row-major *wire* batches the shuffle
+/// paths push through `RouterEndpoint`.
+///
+/// The gather through the selection vector happens here, exactly once per
+/// surviving row, so upstream verify filters never force a compaction.
+pub fn partition_cols_by_key(batch: &ColBatch, key_positions: &[usize], k: usize) -> Vec<RowBatch> {
+    let mut out: Vec<RowBatch> = (0..k).map(|_| RowBatch::new(batch.arity())).collect();
+    let mut row = Vec::with_capacity(batch.arity());
+    for i in 0..batch.len() {
+        row.clear();
+        batch.read_row(i, &mut row);
+        let dest = (key_hash(&row, key_positions) as usize) % k;
+        out[dest].push_row(&row);
+    }
+    out
+}
+
 /// Partitions the rows of `batch` over `k` machines by the *owner* of the
 /// vertex in `column` (used by pushing wco extensions, which route partial
 /// results to the owners of the vertices being intersected).
@@ -454,7 +486,7 @@ pub fn partition_by_owner(
 pub fn run_pipeline(
     ops: &mut [&mut dyn BatchOperator],
     ctx: &OpContext<'_>,
-    sink: &mut dyn FnMut(RowBatch),
+    sink: &mut dyn FnMut(ColBatch),
 ) -> Result<()> {
     let n = ops.len();
     for i in 0..n {
@@ -572,7 +604,8 @@ mod tests {
         join.finish_input(&ctx).unwrap();
         let mut rows = Vec::new();
         while let OpPoll::Ready(b) = join.poll_next(&ctx).unwrap() {
-            rows.extend(b.rows().map(|r| r.to_vec()));
+            let rb = b.to_rows();
+            rows.extend(rb.rows().map(|r| r.to_vec()));
         }
         assert_eq!(rows, vec![vec![1, 10, 100]]);
         assert_eq!(join.produced(), 1);

@@ -17,7 +17,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
-use huge_comm::RowBatch;
+use huge_comm::{ColBatch, RowBatch};
 use huge_graph::VertexId;
 use huge_plan::translate::JoinOp;
 
@@ -256,7 +256,7 @@ impl HashJoiner {
     /// `emit` with output batches of at most `batch_rows` rows. Returns the
     /// number of joined rows. (A convenience wrapper over
     /// [`HashJoiner::into_stream`].)
-    pub fn finish(self, batch_rows: usize, mut emit: impl FnMut(RowBatch)) -> Result<u64> {
+    pub fn finish(self, batch_rows: usize, mut emit: impl FnMut(ColBatch)) -> Result<u64> {
         let mut stream = self.into_stream(batch_rows);
         while let Some(batch) = stream.next_batch()? {
             emit(batch);
@@ -347,7 +347,7 @@ impl JoinStream {
 
     /// Produces the next output batch (at most `batch_rows` rows), or `None`
     /// when the join is exhausted.
-    pub fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+    pub fn next_batch(&mut self) -> Result<Option<ColBatch>> {
         loop {
             if self.current.is_none() {
                 if self.partition >= NUM_PARTITIONS {
@@ -389,7 +389,7 @@ impl JoinStream {
                 });
             }
 
-            let mut out = RowBatch::with_capacity(self.out_arity, self.batch_rows.min(64 * 1024));
+            let mut out = ColBatch::with_capacity(self.out_arity, self.batch_rows.min(64 * 1024));
             let exhausted = self.fill_from_current(&mut out);
             if exhausted {
                 let probe = self.current.take().expect("current probe exists");
@@ -405,7 +405,7 @@ impl JoinStream {
 
     /// Probes the current partition until `out` is full or the partition is
     /// exhausted. Returns `true` when the partition is exhausted.
-    fn fill_from_current(&mut self, out: &mut RowBatch) -> bool {
+    fn fill_from_current(&mut self, out: &mut ColBatch) -> bool {
         let probe = self.current.as_mut().expect("current probe exists");
         let left_arity = self.left.arity;
         let right_arity = self.right.arity;
@@ -620,7 +620,9 @@ mod tests {
             .unwrap();
         let mut rows: Vec<Vec<u32>> = Vec::new();
         let produced = joiner
-            .finish(1024, |b| rows.extend(b.rows().map(|r| r.to_vec())))
+            .finish(1024, |b| {
+                rows.extend(b.to_rows().rows().map(|r| r.to_vec()))
+            })
             .unwrap();
         assert_eq!(produced, 3);
         rows.sort();
@@ -672,7 +674,7 @@ mod tests {
             .unwrap();
         let mut rows = Vec::new();
         joiner
-            .finish(16, |b| rows.extend(b.rows().map(|r| r.to_vec())))
+            .finish(16, |b| rows.extend(b.to_rows().rows().map(|r| r.to_vec())))
             .unwrap();
         assert_eq!(rows, vec![vec![1, 50, 90]]);
     }
@@ -734,7 +736,7 @@ mod tests {
         joiner.add(JoinSide::Right, &r).unwrap();
         let mut rows = Vec::new();
         joiner
-            .finish(16, |b| rows.extend(b.rows().map(|x| x.to_vec())))
+            .finish(16, |b| rows.extend(b.to_rows().rows().map(|x| x.to_vec())))
             .unwrap();
         assert_eq!(rows, vec![vec![1, 2, 7, 9]]);
     }

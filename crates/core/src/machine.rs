@@ -21,7 +21,7 @@ use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use huge_cache::PullCache;
-use huge_comm::{MachineId, RouterEndpoint, RowBatch, RpcFabric};
+use huge_comm::{ColBatch, MachineId, RouterEndpoint, RpcFabric};
 use huge_graph::GraphPartition;
 use huge_plan::translate::{Segment, SegmentSource};
 use huge_query::QueryVertex;
@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use crate::config::{ClusterConfig, Fault, SinkMode};
 use crate::exec::{
-    partition_by_key, BatchOperator, OpContext, OpPoll, PullExtend, PushJoin, ScanSource,
+    partition_cols_by_key, BatchOperator, OpContext, OpPoll, PullExtend, PushJoin, ScanSource,
 };
 use crate::governor::{MemoryGovernor, PressureLevel};
 use crate::join::{JoinSide, MemoryTrackerHandle};
@@ -105,7 +105,7 @@ impl ChainSource {
         }
     }
 
-    fn poll(&mut self, ctx: &OpContext<'_>) -> Result<Option<RowBatch>> {
+    fn poll(&mut self, ctx: &OpContext<'_>) -> Result<Option<ColBatch>> {
         let poll = match self {
             ChainSource::Scan(s) => s.poll_next(ctx)?,
             ChainSource::Join(j) => j.poll_next(ctx)?,
@@ -349,7 +349,7 @@ impl MachineState {
         &mut self,
         dest: MachineId,
         segment: usize,
-        batch: RowBatch,
+        batch: huge_comm::RowBatch,
         run: &RunShared,
     ) -> Result<()> {
         let mut pending = batch;
@@ -767,7 +767,7 @@ impl MachineState {
             // Schedule the operator: consume input until its output queue
             // fills or the input drains (Algorithm 5 lines 6-9).
             loop {
-                let produced: Option<RowBatch> = if current == 0 {
+                let produced: Option<ColBatch> = if current == 0 {
                     let ctx = self.op_context();
                     chain.source.poll(&ctx)?
                 } else {
@@ -814,20 +814,25 @@ impl MachineState {
     fn consume_terminal(
         &mut self,
         plan: &SegmentPlan,
-        batch: &RowBatch,
+        batch: &ColBatch,
         sink: SinkMode,
         run: &RunShared,
     ) -> Result<()> {
         match &plan.terminal {
             Terminal::Sink => {
+                // Count-only sinks touch nothing but the logical length: a
+                // verify-mode final batch is never compacted.
                 self.matches += batch.len() as u64;
                 if let SinkMode::Collect(limit) = sink {
                     let schema = &plan.segment.schema;
-                    for row in batch.rows() {
+                    let mut row = Vec::with_capacity(batch.arity());
+                    for i in 0..batch.len() {
                         if self.samples.len() >= limit {
                             break;
                         }
-                        self.samples.push(reorder_row(row, schema));
+                        row.clear();
+                        batch.read_row(i, &mut row);
+                        self.samples.push(reorder_row(&row, schema));
                     }
                 }
             }
@@ -837,8 +842,10 @@ impl MachineState {
             } => {
                 let k = self.router.num_machines();
                 // Envelopes are tagged with the *producing* segment id so the
-                // consuming join can tell its left input from its right.
-                for (dest, out) in partition_by_key(batch, key_positions, k)
+                // consuming join can tell its left input from its right. The
+                // selection gather happens inside the partitioner, so the
+                // row-major wire batches carry only surviving rows.
+                for (dest, out) in partition_cols_by_key(batch, key_positions, k)
                     .into_iter()
                     .enumerate()
                 {

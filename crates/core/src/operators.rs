@@ -7,7 +7,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use huge_comm::RowBatch;
+use huge_comm::{ColBatch, RowBatch};
+use huge_graph::kernels::{self, KernelKind, KernelTally};
 use huge_graph::VertexId;
 use huge_plan::translate::{ExtendOp, OrderFilter, ScanOp};
 use parking_lot::Mutex;
@@ -212,30 +213,15 @@ pub struct ExtendCountOutput {
     pub fetch_time: Duration,
 }
 
-/// The fetch stage of Algorithm 4: pulls (or seals in the cache) every
-/// remote adjacency list the batch's extend positions reference. Returns the
-/// per-batch side table (used when the cache is disabled) and the stage
-/// duration.
-fn fetch_stage(
-    op: &ExtendOp,
-    input: &RowBatch,
+/// Resolves a collected list of remote vertices: seals them in the cache
+/// (fetching misses) or builds the per-batch side table used when the cache
+/// is disabled. Shared tail of both fetch-stage layouts.
+fn resolve_remote(
+    mut remote: Vec<VertexId>,
     ctx: &OpContext<'_>,
-) -> (HashMap<VertexId, Vec<VertexId>>, Duration) {
-    let fetch_start = Instant::now();
-    // Collect the distinct remote vertices referenced by the extend index.
-    let mut remote: Vec<VertexId> = Vec::new();
-    for row in input.rows() {
-        for &pos in &op.ext_positions {
-            let v = row[pos];
-            if !ctx.partition.is_local(v) {
-                remote.push(v);
-            }
-        }
-    }
+) -> HashMap<VertexId, Vec<VertexId>> {
     remote.sort_unstable();
     remote.dedup();
-
-    // Per-batch side table used when the cache is disabled.
     let mut batch_table: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
     if ctx.use_cache {
         let mut to_fetch: Vec<VertexId> = Vec::new();
@@ -255,6 +241,64 @@ fn fetch_stage(
     } else if !remote.is_empty() {
         batch_table = ctx.rpc.get_nbrs(ctx.machine, &remote).into_iter().collect();
     }
+    batch_table
+}
+
+/// The fetch stage of Algorithm 4: pulls (or seals in the cache) every
+/// remote adjacency list the batch's extend positions reference. Returns the
+/// per-batch side table (used when the cache is disabled) and the stage
+/// duration.
+fn fetch_stage(
+    op: &ExtendOp,
+    input: &RowBatch,
+    ctx: &OpContext<'_>,
+) -> (HashMap<VertexId, Vec<VertexId>>, Duration) {
+    let fetch_start = Instant::now();
+    let mut remote: Vec<VertexId> = Vec::new();
+    for row in input.rows() {
+        for &pos in &op.ext_positions {
+            let v = row[pos];
+            if !ctx.partition.is_local(v) {
+                remote.push(v);
+            }
+        }
+    }
+    let batch_table = resolve_remote(remote, ctx);
+    (batch_table, fetch_start.elapsed())
+}
+
+/// Columnar fetch stage: identical to [`fetch_stage`] but reads the extend
+/// positions column-at-a-time (one dense column scan per position instead
+/// of a strided walk over rows).
+fn fetch_stage_cols(
+    op: &ExtendOp,
+    input: &ColBatch,
+    ctx: &OpContext<'_>,
+) -> (HashMap<VertexId, Vec<VertexId>>, Duration) {
+    let fetch_start = Instant::now();
+    let mut remote: Vec<VertexId> = Vec::new();
+    for &pos in &op.ext_positions {
+        match input.selection() {
+            None => {
+                remote.extend(
+                    input
+                        .column(pos)
+                        .iter()
+                        .copied()
+                        .filter(|&v| !ctx.partition.is_local(v)),
+                );
+            }
+            Some(sel) => {
+                let col = input.column(pos);
+                remote.extend(
+                    sel.iter()
+                        .map(|&i| col[i as usize])
+                        .filter(|&v| !ctx.partition.is_local(v)),
+                );
+            }
+        }
+    }
+    let batch_table = resolve_remote(remote, ctx);
     (batch_table, fetch_start.elapsed())
 }
 
@@ -282,7 +326,9 @@ pub fn run_extend(op: &ExtendOp, input: &RowBatch, ctx: &OpContext<'_>) -> Exten
     let run = ctx
         .pool
         .run(ranges, |(start, end), out: &mut Vec<VertexId>| {
+            let mut exts: Vec<VertexId> = Vec::new();
             let mut scratch: Vec<VertexId> = Vec::new();
+            let mut tally = KernelTally::default();
             for i in start..end {
                 let row = input.row(i);
                 extend_one_row(
@@ -290,10 +336,13 @@ pub fn run_extend(op: &ExtendOp, input: &RowBatch, ctx: &OpContext<'_>) -> Exten
                     row,
                     ctx,
                     batch_table,
+                    &mut exts,
                     &mut scratch,
+                    &mut tally,
                     &mut ExtendSink::Materialise(out),
                 );
             }
+            flush_tally(ctx, &tally);
         });
 
     let mut batch = RowBatch::new(out_arity);
@@ -323,7 +372,9 @@ pub fn run_extend_count(op: &ExtendOp, input: &RowBatch, ctx: &OpContext<'_>) ->
     let ranges = intersect_ranges(input.len(), ctx);
     let batch_table = &batch_table;
     let run = ctx.pool.run(ranges, |(start, end), out: &mut Vec<u64>| {
+        let mut exts: Vec<VertexId> = Vec::new();
         let mut scratch: Vec<VertexId> = Vec::new();
+        let mut tally = KernelTally::default();
         let mut count = 0u64;
         for i in start..end {
             let row = input.row(i);
@@ -332,10 +383,13 @@ pub fn run_extend_count(op: &ExtendOp, input: &RowBatch, ctx: &OpContext<'_>) ->
                 row,
                 ctx,
                 batch_table,
+                &mut exts,
                 &mut scratch,
+                &mut tally,
                 &mut ExtendSink::Count(&mut count),
             );
         }
+        flush_tally(ctx, &tally);
         out.push(count);
     });
     if ctx.use_cache {
@@ -375,74 +429,146 @@ impl ExtendSink<'_> {
     }
 }
 
+/// Flushes a work item's kernel tally to the machine's shared counters
+/// (one set of atomic adds per work item, not per intersection).
+#[inline]
+fn flush_tally(ctx: &OpContext<'_>, tally: &KernelTally) {
+    if tally.total() > 0 {
+        ctx.rpc.stats().machine(ctx.machine).record_kernels(
+            tally.merge,
+            tally.gallop,
+            tally.bitmap,
+        );
+    }
+}
+
+/// Intersects the adjacency lists of `exts` (already sorted smallest-degree
+/// first) into `scratch`, dispatching every step through the adaptive
+/// kernel family: hub bitmaps for indexed high-degree vertices, galloping
+/// under cardinality skew, branch-light merge otherwise. A missing list
+/// (an evicted steal) clears the accumulator — no candidates.
+fn intersect_ext_lists(
+    exts: &[VertexId],
+    ctx: &OpContext<'_>,
+    batch_table: &HashMap<VertexId, Vec<VertexId>>,
+    scratch: &mut Vec<VertexId>,
+    tally: &mut KernelTally,
+) {
+    scratch.clear();
+    let mut first = true;
+    for &v in exts {
+        if first {
+            if with_neighbours(ctx, batch_table, v, |nbrs| scratch.extend_from_slice(nbrs))
+                .is_none()
+            {
+                scratch.clear();
+            }
+            first = false;
+            continue;
+        }
+        if scratch.is_empty() {
+            break;
+        }
+        if let Some(bm) = ctx.partition.hub_bitmap(v) {
+            kernels::intersect_bitmap_in_place(scratch, bm);
+            tally.bump(KernelKind::Bitmap);
+            continue;
+        }
+        match with_neighbours(ctx, batch_table, v, |nbrs| {
+            kernels::intersect_in_place(scratch, nbrs)
+        }) {
+            Some(kind) => tally.bump(kind),
+            None => scratch.clear(),
+        }
+    }
+}
+
+/// Computes the raw multiway candidate set of one row (Equation 2) into
+/// `scratch` (before injectivity and order filters). The extend lists are
+/// ordered smallest-degree first — degree is metadata every machine reads
+/// for free — so the accumulator starts minimal and skew is maximal, which
+/// is what lets the galloping and bitmap branches win.
+fn gather_candidates(
+    op: &ExtendOp,
+    row: &[VertexId],
+    ctx: &OpContext<'_>,
+    batch_table: &HashMap<VertexId, Vec<VertexId>>,
+    exts: &mut Vec<VertexId>,
+    scratch: &mut Vec<VertexId>,
+    tally: &mut KernelTally,
+) {
+    exts.clear();
+    exts.extend(op.ext_positions.iter().map(|&p| row[p]));
+    exts.sort_unstable_by_key(|&v| ctx.partition.degree(v));
+    intersect_ext_lists(exts, ctx, batch_table, scratch, tally);
+}
+
+/// Injectivity plus order filters for one candidate against the *output*
+/// row layout (`row ++ candidate`).
+#[inline]
+fn candidate_passes(op: &ExtendOp, row: &[VertexId], candidate: VertexId) -> bool {
+    // Injectivity: the new vertex must differ from every bound vertex.
+    if row.contains(&candidate) {
+        return false;
+    }
+    op.filters.iter().all(|f| {
+        let smaller = if f.smaller == row.len() {
+            candidate
+        } else {
+            row[f.smaller]
+        };
+        let larger = if f.larger == row.len() {
+            candidate
+        } else {
+            row[f.larger]
+        };
+        smaller < larger
+    })
+}
+
+/// Verify mode for one row: the already-bound vertex must be adjacent to
+/// every extend position (no intersection needs materialising).
+#[inline]
+fn verify_one_row(
+    op: &ExtendOp,
+    vpos: usize,
+    row: &[VertexId],
+    ctx: &OpContext<'_>,
+    batch_table: &HashMap<VertexId, Vec<VertexId>>,
+) -> bool {
+    let target = row[vpos];
+    op.ext_positions.iter().all(|&pos| {
+        let v = row[pos];
+        with_neighbours(ctx, batch_table, v, |nbrs| {
+            nbrs.binary_search(&target).is_ok()
+        })
+        .unwrap_or(false)
+    }) && passes_filters(row, &op.filters)
+}
+
 /// Extends (or verifies) a single row, feeding the results to `sink`.
+#[allow(clippy::too_many_arguments)]
 fn extend_one_row(
     op: &ExtendOp,
     row: &[VertexId],
     ctx: &OpContext<'_>,
     batch_table: &HashMap<VertexId, Vec<VertexId>>,
+    exts: &mut Vec<VertexId>,
     scratch: &mut Vec<VertexId>,
+    tally: &mut KernelTally,
     sink: &mut ExtendSink<'_>,
 ) {
-    // Verify mode: check that the already-bound vertex is adjacent to every
-    // extend position (no intersection needs materialising).
     if let Some(vpos) = op.verify_position {
-        let target = row[vpos];
-        let ok = op.ext_positions.iter().all(|&pos| {
-            let v = row[pos];
-            with_neighbours(ctx, batch_table, v, |nbrs| {
-                nbrs.binary_search(&target).is_ok()
-            })
-            .unwrap_or(false)
-        });
-        if ok && passes_filters(row, &op.filters) {
+        if verify_one_row(op, vpos, row, ctx, batch_table) {
             sink.emit_verified(row);
         }
         return;
     }
 
     // Match mode: multiway intersection of the neighbourhoods (Equation 2).
-    scratch.clear();
-    let mut first = true;
-    for &pos in &op.ext_positions {
-        let v = row[pos];
-        let found = with_neighbours(ctx, batch_table, v, |nbrs| {
-            if first {
-                scratch.extend_from_slice(nbrs);
-            } else {
-                intersect_in_place(scratch, nbrs);
-            }
-        });
-        if found.is_none() {
-            // Missing adjacency list (can only happen for an empty stolen
-            // list): no candidates.
-            scratch.clear();
-        }
-        first = false;
-        if scratch.is_empty() && !first {
-            break;
-        }
-    }
+    gather_candidates(op, row, ctx, batch_table, exts, scratch, tally);
     for &candidate in scratch.iter() {
-        // Injectivity: the new vertex must differ from every bound vertex.
-        if row.contains(&candidate) {
-            continue;
-        }
-        // Order filters refer to the *output* row layout (row ++ candidate).
-        let ok = op.filters.iter().all(|f| {
-            let smaller = if f.smaller == row.len() {
-                candidate
-            } else {
-                row[f.smaller]
-            };
-            let larger = if f.larger == row.len() {
-                candidate
-            } else {
-                row[f.larger]
-            };
-            smaller < larger
-        });
-        if ok {
+        if candidate_passes(op, row, candidate) {
             sink.emit_extended(row, candidate);
         }
     }
@@ -475,21 +601,269 @@ fn with_neighbours<R>(
     batch_table.get(&v).map(|nbrs| f(nbrs))
 }
 
-/// In-place intersection of a sorted accumulator with a sorted list.
-fn intersect_in_place(acc: &mut Vec<VertexId>, other: &[VertexId]) {
-    let mut write = 0;
-    let mut j = 0;
-    for read in 0..acc.len() {
-        let x = acc[read];
-        while j < other.len() && other[j] < x {
-            j += 1;
+// ---------------------------------------------------------------------------
+// Columnar PULL-EXTEND
+// ---------------------------------------------------------------------------
+
+/// The result of running a columnar `PULL-EXTEND` over one input batch.
+pub struct ExtendColsOutput {
+    /// The extended (or selection-narrowed) columnar batch.
+    pub batch: ColBatch,
+    /// Busy time of each intra-machine worker during the intersect stage.
+    pub worker_busy: Vec<Duration>,
+    /// Time spent in the fetch stage (RPCs + cache writes + sealing).
+    pub fetch_time: Duration,
+}
+
+/// Runs the two-stage `PULL-EXTEND` (Algorithm 4) over one columnar batch.
+///
+/// *Verify* mode never moves data: the surviving rows become a narrowed
+/// selection vector over the input's columns. *Match* mode gathers the
+/// prefix columns once per output column (dense sequential writes) and
+/// appends exactly one new candidate column — no `arity + 1`-wide row
+/// rewrites.
+pub fn run_extend_cols(op: &ExtendOp, input: ColBatch, ctx: &OpContext<'_>) -> ExtendColsOutput {
+    let (batch_table, fetch_time) = fetch_stage_cols(op, &input, ctx);
+    let ranges = intersect_ranges(input.len(), ctx);
+    let batch_table = &batch_table;
+    let input_ref = &input;
+
+    if let Some(vpos) = op.verify_position {
+        // Survivors as physical indices; the pool returns work items in
+        // arbitrary order, so sort before installing the selection.
+        let run = ctx.pool.run(ranges, |(start, end), out: &mut Vec<u32>| {
+            let mut row: Vec<VertexId> = Vec::new();
+            for i in start..end {
+                row.clear();
+                input_ref.read_row(i, &mut row);
+                if verify_one_row(op, vpos, &row, ctx, batch_table) {
+                    out.push(input_ref.physical_index(i) as u32);
+                }
+            }
+        });
+        let worker_busy = run.busy.clone();
+        let mut sel: Vec<u32> = run.outputs.into_iter().flatten().collect();
+        sel.sort_unstable();
+        let mut batch = input;
+        batch.set_selection(sel);
+        if ctx.use_cache {
+            ctx.cache.release();
         }
-        if j < other.len() && other[j] == x {
-            acc[write] = x;
-            write += 1;
+        ctx.rpc
+            .stats()
+            .machine(ctx.machine)
+            .record_col_bytes(batch.byte_size());
+        return ExtendColsOutput {
+            batch,
+            worker_busy,
+            fetch_time,
+        };
+    }
+
+    // Match mode: workers emit (logical row, candidate) pairs; the output
+    // columns are then assembled column-at-a-time.
+    let run = ctx
+        .pool
+        .run(ranges, |(start, end), out: &mut Vec<VertexId>| {
+            let mut row: Vec<VertexId> = Vec::new();
+            let mut exts: Vec<VertexId> = Vec::new();
+            let mut scratch: Vec<VertexId> = Vec::new();
+            let mut tally = KernelTally::default();
+            for i in start..end {
+                row.clear();
+                input_ref.read_row(i, &mut row);
+                gather_candidates(
+                    op,
+                    &row,
+                    ctx,
+                    batch_table,
+                    &mut exts,
+                    &mut scratch,
+                    &mut tally,
+                );
+                for &candidate in scratch.iter() {
+                    if candidate_passes(op, &row, candidate) {
+                        out.push(i as u32);
+                        out.push(candidate);
+                    }
+                }
+            }
+            flush_tally(ctx, &tally);
+        });
+    let worker_busy = run.busy.clone();
+    let arity = input.arity();
+    let total: usize = run.outputs.iter().map(|o| o.len() / 2).sum();
+    let mut cols: Vec<Vec<VertexId>> = (0..=arity).map(|_| Vec::with_capacity(total)).collect();
+    for flat in &run.outputs {
+        for (c, col) in cols.iter_mut().enumerate().take(arity) {
+            col.extend(flat.chunks_exact(2).map(|p| input.value(c, p[0] as usize)));
+        }
+        cols[arity].extend(flat.chunks_exact(2).map(|p| p[1]));
+    }
+    let batch = ColBatch::from_columns(cols);
+    if ctx.use_cache {
+        ctx.cache.release();
+    }
+    ctx.rpc
+        .stats()
+        .machine(ctx.machine)
+        .record_col_bytes(batch.byte_size());
+    ExtendColsOutput {
+        batch,
+        worker_busy,
+        fetch_time,
+    }
+}
+
+/// Counts the extensions of one columnar batch without materialising
+/// anything the kernels can avoid.
+///
+/// The candidate-position order filters are turned into a `(lo, hi)` value
+/// range and the *largest* extend list is never written: with one extend
+/// list the count is two `partition_point`s; with several, all but the
+/// largest are intersected into a scratch accumulator and the final step
+/// runs an `intersect_count_*` twin (bitmap twin for indexed hubs).
+/// Injectivity is restored by subtracting the bound row values that would
+/// have been counted.
+pub fn run_extend_count_cols(
+    op: &ExtendOp,
+    input: &ColBatch,
+    ctx: &OpContext<'_>,
+) -> ExtendCountOutput {
+    let (batch_table, fetch_time) = fetch_stage_cols(op, input, ctx);
+    let ranges = intersect_ranges(input.len(), ctx);
+    let batch_table = &batch_table;
+    let run = ctx.pool.run(ranges, |(start, end), out: &mut Vec<u64>| {
+        let mut row: Vec<VertexId> = Vec::new();
+        let mut exts: Vec<VertexId> = Vec::new();
+        let mut scratch: Vec<VertexId> = Vec::new();
+        let mut tally = KernelTally::default();
+        let mut count = 0u64;
+        for i in start..end {
+            row.clear();
+            input.read_row(i, &mut row);
+            count += count_one_row(
+                op,
+                &row,
+                ctx,
+                batch_table,
+                &mut exts,
+                &mut scratch,
+                &mut tally,
+            );
+        }
+        flush_tally(ctx, &tally);
+        out.push(count);
+    });
+    if ctx.use_cache {
+        ctx.cache.release();
+    }
+    ExtendCountOutput {
+        count: run.outputs.iter().flatten().sum(),
+        worker_busy: run.busy,
+        fetch_time,
+    }
+}
+
+/// Counts the extensions of one row via the kernel count twins.
+fn count_one_row(
+    op: &ExtendOp,
+    row: &[VertexId],
+    ctx: &OpContext<'_>,
+    batch_table: &HashMap<VertexId, Vec<VertexId>>,
+    exts: &mut Vec<VertexId>,
+    scratch: &mut Vec<VertexId>,
+    tally: &mut KernelTally,
+) -> u64 {
+    if let Some(vpos) = op.verify_position {
+        return verify_one_row(op, vpos, row, ctx, batch_table) as u64;
+    }
+
+    // Split the order filters: filters among bound positions gate the whole
+    // row; filters against the candidate position become a value range.
+    let n = row.len();
+    let mut lo: Option<VertexId> = None;
+    let mut hi: Option<VertexId> = None;
+    for f in &op.filters {
+        if f.larger == n {
+            let b = row[f.smaller];
+            lo = Some(lo.map_or(b, |x| x.max(b)));
+        } else if f.smaller == n {
+            let b = row[f.larger];
+            hi = Some(hi.map_or(b, |x| x.min(b)));
+        } else if row[f.smaller] >= row[f.larger] {
+            return 0;
         }
     }
-    acc.truncate(write);
+    let in_range = |x: VertexId| lo.is_none_or(|l| x > l) && hi.is_none_or(|h| x < h);
+    fn range_slice(s: &[VertexId], lo: Option<VertexId>, hi: Option<VertexId>) -> &[VertexId] {
+        let a = match lo {
+            Some(l) => s.partition_point(|&x| x <= l),
+            None => 0,
+        };
+        let b = match hi {
+            Some(h) => s.partition_point(|&x| x < h),
+            None => s.len(),
+        };
+        &s[a..b.max(a)]
+    }
+    // Distinct bound values that an unconstrained count would wrongly
+    // include (injectivity corrections).
+    let distinct = |idx: usize| !row[..idx].contains(&row[idx]);
+
+    exts.clear();
+    exts.extend(op.ext_positions.iter().map(|&p| row[p]));
+    exts.sort_unstable_by_key(|&v| ctx.partition.degree(v));
+    let (&last, rest) = exts.split_last().expect("extend needs positions");
+
+    // Materialise every list except the largest.
+    intersect_ext_lists(rest, ctx, batch_table, scratch, tally);
+    let single = rest.is_empty();
+    if !single && scratch.is_empty() {
+        return 0;
+    }
+
+    if !single {
+        if let Some(bm) = ctx.partition.hub_bitmap(last) {
+            let s = range_slice(scratch, lo, hi);
+            let mut count = kernels::intersect_count_bitmap(s, bm);
+            tally.bump(KernelKind::Bitmap);
+            for (idx, &r) in row.iter().enumerate() {
+                if distinct(idx) && in_range(r) && bm.contains(r) && s.binary_search(&r).is_ok() {
+                    count -= 1;
+                }
+            }
+            return count;
+        }
+    }
+
+    with_neighbours(ctx, batch_table, last, |nbrs| {
+        let nb = range_slice(nbrs, lo, hi);
+        if single {
+            let mut count = nb.len() as u64;
+            for (idx, &r) in row.iter().enumerate() {
+                if distinct(idx) && in_range(r) && nb.binary_search(&r).is_ok() {
+                    count -= 1;
+                }
+            }
+            count
+        } else {
+            let s = range_slice(scratch, lo, hi);
+            let (mut count, kind) = kernels::intersect_count_adaptive(s, nb);
+            tally.bump(kind);
+            for (idx, &r) in row.iter().enumerate() {
+                if distinct(idx)
+                    && in_range(r)
+                    && nb.binary_search(&r).is_ok()
+                    && s.binary_search(&r).is_ok()
+                {
+                    count -= 1;
+                }
+            }
+            count
+        }
+    })
+    .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -668,12 +1042,119 @@ mod tests {
     }
 
     #[test]
-    fn intersect_in_place_is_correct() {
-        let mut acc = vec![1, 3, 5, 7, 9];
-        intersect_in_place(&mut acc, &[3, 4, 5, 9, 11]);
-        assert_eq!(acc, vec![3, 5, 9]);
-        let mut empty: Vec<u32> = vec![];
-        intersect_in_place(&mut empty, &[1, 2]);
-        assert!(empty.is_empty());
+    fn columnar_extend_matches_row_major_on_k8() {
+        let (parts, rpc) = setup(2);
+        let pool = WorkerPool::new(2, crate::config::LoadBalance::WorkStealing);
+        let mut row_total = 0;
+        let mut col_total = 0;
+        let mut count_total = 0;
+        for m in 0..2 {
+            let cache = huge_cache::LrbuCache::new(1 << 20);
+            let c = ctx(m, &parts, &rpc, &cache, &pool);
+            let scan = ScanOp {
+                src: 0,
+                dst: 1,
+                filters: vec![OrderFilter {
+                    smaller: 0,
+                    larger: 1,
+                }],
+            };
+            let ext = ExtendOp {
+                target: 2,
+                ext_positions: vec![0, 1],
+                verify_position: None,
+                filters: vec![OrderFilter {
+                    smaller: 1,
+                    larger: 2,
+                }],
+                comm: CommMode::Pulling,
+            };
+            let mut cursor = ScanCursor::new(scan, ScanPool::new(parts[m].local_vertices(), 2));
+            while let Some(batch) = cursor.next_batch(&c) {
+                row_total += run_extend(&ext, &batch, &c).batch.len();
+                let cols = ColBatch::from_rows(&batch);
+                count_total += run_extend_count_cols(&ext, &cols, &c).count;
+                let out = run_extend_cols(&ext, cols, &c);
+                assert_eq!(out.batch.arity(), 3);
+                col_total += out.batch.len();
+            }
+        }
+        // K8 has C(8,3) = 56 triangles; all three paths must agree.
+        assert_eq!(row_total, 56);
+        assert_eq!(col_total, 56);
+        assert_eq!(count_total, 56);
+        // The columnar paths dispatched kernels and charged column bytes.
+        let total = rpc.stats().total();
+        assert!(total.kernel_invocations() > 0);
+        assert!(total.col_bytes > 0);
+    }
+
+    #[test]
+    fn columnar_verify_narrows_selection_without_copying() {
+        let (parts, rpc) = setup(1);
+        let cache = huge_cache::LrbuCache::new(1 << 20);
+        let pool = WorkerPool::new(1, crate::config::LoadBalance::WorkStealing);
+        let c = ctx(0, &parts, &rpc, &cache, &pool);
+        let mut input = ColBatch::new(2);
+        input.push_row(&[0, 1]);
+        input.push_row(&[2, 2]); // self pair: 2 is not its own neighbour
+        input.push_row(&[3, 5]);
+        let op = ExtendOp {
+            target: 0,
+            ext_positions: vec![1],
+            verify_position: Some(0),
+            filters: vec![],
+            comm: CommMode::Pulling,
+        };
+        let out = run_extend_cols(&op, input, &c);
+        assert_eq!(out.batch.len(), 2);
+        assert_eq!(out.batch.physical_rows(), 3, "verify must not compact");
+        assert_eq!(out.batch.selection(), Some(&[0, 2][..]));
+        assert_eq!(out.batch.value(0, 1), 3);
+        assert_eq!(out.batch.to_rows().row(0), &[0, 1]);
+    }
+
+    #[test]
+    fn columnar_count_uses_hub_bitmaps() {
+        let g = gen::barabasi_albert(400, 6, 3);
+        let mut parts = Partitioner::new(1).unwrap().partition(g);
+        parts[0].build_hub_index(8); // low threshold: plenty of hubs
+        let stats = ClusterStats::new(1);
+        let rpc = RpcFabric::new(Arc::new(parts.clone()), stats);
+        let cache = huge_cache::LrbuCache::new(1 << 20);
+        let pool = WorkerPool::new(1, crate::config::LoadBalance::WorkStealing);
+        let c = ctx(0, &parts, &rpc, &cache, &pool);
+        let scan = ScanOp {
+            src: 0,
+            dst: 1,
+            filters: vec![OrderFilter {
+                smaller: 0,
+                larger: 1,
+            }],
+        };
+        let ext = ExtendOp {
+            target: 2,
+            ext_positions: vec![0, 1],
+            verify_position: None,
+            filters: vec![OrderFilter {
+                smaller: 1,
+                larger: 2,
+            }],
+            comm: CommMode::Pulling,
+        };
+        let mut row_total = 0u64;
+        let mut count_total = 0u64;
+        let mut cursor = ScanCursor::new(scan, ScanPool::new(parts[0].local_vertices(), 64));
+        while let Some(batch) = cursor.next_batch(&c) {
+            row_total += run_extend(&ext, &batch, &c).batch.len() as u64;
+            let cols = ColBatch::from_rows(&batch);
+            count_total += run_extend_count_cols(&ext, &cols, &c).count;
+        }
+        assert_eq!(count_total, row_total);
+        let snap = rpc.stats().total();
+        assert!(
+            snap.kernel_bitmap > 0,
+            "hub bitmaps must be dispatched on a BA graph: {snap:?}"
+        );
     }
 }

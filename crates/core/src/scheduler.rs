@@ -34,20 +34,20 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use huge_comm::RowBatch;
+use huge_comm::ColBatch;
 use parking_lot::Mutex;
 
 use crate::memory::MemoryTracker;
 use crate::operators::ScanPool;
 
-/// A shared, capacity-aware queue of row batches.
+/// A shared, capacity-aware queue of columnar batches.
 ///
 /// The capacity is *soft*: the producing operator checks [`SharedQueue::is_full`]
 /// after each batch (the paper lets a queue overflow by at most the results
 /// of one batch, which is what makes the memory bound `O(|V_q| · D_G)` per
 /// operator rather than zero-overflow-but-deadlock-prone).
 pub struct SharedQueue {
-    batches: Mutex<VecDeque<RowBatch>>,
+    batches: Mutex<VecDeque<ColBatch>>,
     rows: AtomicUsize,
     /// The *effective* row capacity. Queues created through
     /// [`SharedQueue::governed`] share one handle per machine, so the memory
@@ -103,7 +103,7 @@ impl SharedQueue {
 
     /// Enqueues a batch (always succeeds; capacity is checked by the caller
     /// after the fact, per the paper's "overflow by at most one batch").
-    pub fn push(&self, batch: RowBatch) {
+    pub fn push(&self, batch: ColBatch) {
         if batch.is_empty() {
             return;
         }
@@ -115,7 +115,7 @@ impl SharedQueue {
     }
 
     /// Dequeues the oldest batch.
-    pub fn pop(&self) -> Option<RowBatch> {
+    pub fn pop(&self) -> Option<ColBatch> {
         let batch = self.batches.lock().pop_front();
         if let Some(b) = &batch {
             self.rows.fetch_sub(b.len(), Ordering::Relaxed);
@@ -314,8 +314,8 @@ pub enum SegmentState {
 mod tests {
     use super::*;
 
-    fn batch(n: usize) -> RowBatch {
-        RowBatch::from_flat(1, (0..n as u32).collect())
+    fn batch(n: usize) -> ColBatch {
+        ColBatch::from_columns(vec![(0..n as u32).collect()])
     }
 
     #[test]
@@ -364,7 +364,7 @@ mod tests {
     #[test]
     fn empty_batches_are_ignored() {
         let q = SharedQueue::new(10, None);
-        q.push(RowBatch::new(2));
+        q.push(ColBatch::new(2));
         assert!(q.is_empty());
     }
 

@@ -190,22 +190,13 @@ impl Graph {
 }
 
 /// Counts common elements of two sorted slices strictly greater than `min`.
+///
+/// Lower bounds are handled by pre-slicing with `partition_point`, so the
+/// counting kernel itself stays branch-light (see [`crate::kernels`]).
 fn intersect_count_gt(a: &[VertexId], b: &[VertexId], min: VertexId) -> u64 {
-    let mut i = a.partition_point(|&x| x <= min);
-    let mut j = b.partition_point(|&x| x <= min);
-    let mut count = 0;
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                count += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    count
+    let i = a.partition_point(|&x| x <= min);
+    let j = b.partition_point(|&x| x <= min);
+    crate::kernels::intersect_count_merge(&a[i..], &b[j..])
 }
 
 /// Intersects two sorted adjacency slices into a new vector.
@@ -230,7 +221,9 @@ pub fn intersect_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
 ///
 /// This is the multiway intersection of Equation 2 in the paper, used by the
 /// `PULL-EXTEND` operator to compute the candidate set of the next query
-/// vertex.
+/// vertex. The accumulator is seeded from the smallest list and compacted
+/// in place against each remaining list by the adaptive kernel — one
+/// allocation total, instead of one fresh vector per list.
 pub fn intersect_many(mut lists: Vec<&[VertexId]>) -> Vec<VertexId> {
     if lists.is_empty() {
         return Vec::new();
@@ -241,7 +234,7 @@ pub fn intersect_many(mut lists: Vec<&[VertexId]>) -> Vec<VertexId> {
         if acc.is_empty() {
             break;
         }
-        acc = intersect_sorted(&acc, l);
+        crate::kernels::intersect_in_place(&mut acc, l);
     }
     acc
 }

@@ -23,12 +23,14 @@ pub mod datasets;
 pub mod gen;
 pub mod graph;
 pub mod io;
+pub mod kernels;
 pub mod partition;
 pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use datasets::{Dataset, DatasetKind};
 pub use graph::{Graph, VertexId};
+pub use kernels::{HubBitmap, HubIndex, KernelKind, KernelTally};
 pub use partition::{GraphPartition, PartitionMap, Partitioner};
 pub use stats::GraphStats;
 

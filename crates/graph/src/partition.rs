@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use crate::graph::{Graph, VertexId};
+use crate::kernels::{HubBitmap, HubIndex};
 use crate::{GraphError, Result};
 
 /// Identifier of a machine in the (simulated) cluster.
@@ -68,6 +69,10 @@ pub struct GraphPartition {
     graph: Arc<Graph>,
     /// Total bytes of the local adjacency lists (for memory accounting).
     local_bytes: u64,
+    /// Cached hub bitmaps for local high-degree vertices (see
+    /// [`GraphPartition::build_hub_index`]). `None` until built or when the
+    /// threshold disables the index.
+    hubs: Option<Arc<HubIndex>>,
 }
 
 impl GraphPartition {
@@ -156,6 +161,38 @@ impl GraphPartition {
     pub fn shared_graph(&self) -> Arc<Graph> {
         Arc::clone(&self.graph)
     }
+
+    /// Builds (or disables, for `threshold == 0`) the hub-bitmap index over
+    /// local vertices with degree at least `threshold`.
+    ///
+    /// The bitmaps are chunk-sparse (only non-zero 64-bit blocks are kept)
+    /// and cached per partition so the intersection kernels can dispatch to
+    /// the block-skipping bitmap branch for hub adjacency lists.
+    pub fn build_hub_index(&mut self, threshold: usize) {
+        if threshold == 0 {
+            self.hubs = None;
+            return;
+        }
+        let graph = &self.graph;
+        self.hubs = Some(HubIndex::build(
+            threshold,
+            self.local_vertices
+                .iter()
+                .map(|&v| (v, graph.neighbours(v))),
+        ));
+    }
+
+    /// The cached bitmap for a local hub vertex, if the index is built and
+    /// `v` met the degree threshold.
+    #[inline]
+    pub fn hub_bitmap(&self, v: VertexId) -> Option<&HubBitmap> {
+        self.hubs.as_ref()?.get(v)
+    }
+
+    /// The hub index handle, if built.
+    pub fn hub_index(&self) -> Option<&Arc<HubIndex>> {
+        self.hubs.as_ref()
+    }
 }
 
 /// Splits a graph into `k` partitions.
@@ -202,6 +239,7 @@ impl Partitioner {
                     local_vertices,
                     graph: Arc::clone(&graph),
                     local_bytes,
+                    hubs: None,
                 }
             })
             .collect()
@@ -251,6 +289,35 @@ mod tests {
         assert_eq!(parts[0].num_local_vertices(), 10);
         assert!(parts[0].is_local(7));
         assert_eq!(parts[0].local_neighbours(0), &[1, 9]);
+    }
+
+    #[test]
+    fn hub_index_covers_exactly_local_hubs() {
+        let g = gen::barabasi_albert(2000, 8, 7);
+        let threshold = 64;
+        let mut parts = Partitioner::new(3).unwrap().partition(g);
+        for p in &mut parts {
+            assert!(p.hub_index().is_none());
+            p.build_hub_index(threshold);
+        }
+        let mut indexed = 0usize;
+        for p in &parts {
+            for &v in p.local_vertices() {
+                let is_hub = p.degree(v) >= threshold;
+                assert_eq!(p.hub_bitmap(v).is_some(), is_hub, "vertex {v}");
+                if let Some(bm) = p.hub_bitmap(v) {
+                    indexed += 1;
+                    assert_eq!(bm.cardinality() as usize, p.degree(v));
+                    for &n in p.any_neighbours(v) {
+                        assert!(bm.contains(n));
+                    }
+                }
+            }
+        }
+        assert!(indexed > 0, "BA graph with m=8 should have hubs above 64");
+        // Threshold 0 disables the index.
+        parts[0].build_hub_index(0);
+        assert!(parts[0].hub_index().is_none());
     }
 
     #[test]

@@ -1,11 +1,36 @@
 //! Property-based tests of the graph substrate.
 
 use huge_graph::graph::{intersect_many, intersect_sorted};
+use huge_graph::kernels::{
+    self, intersect_bitmap_into, intersect_count_bitmap, intersect_count_gallop,
+    intersect_count_merge, intersect_gallop_into, intersect_merge_into, HubBitmap, HubIndex,
+};
 use huge_graph::{gen, Graph, GraphBuilder, Partitioner};
 use proptest::prelude::*;
 
 fn arb_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
     prop::collection::vec((0..max_v, 0..max_v), 0..max_e)
+}
+
+/// Two sorted deduplicated lists whose cardinalities differ by a random
+/// ratio (1:1 up to ~1:1000), exercising every kernel's dispatch band.
+fn arb_skewed_lists() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (
+        prop::collection::vec(0u32..4096, 0..48),
+        prop::collection::vec(0u32..4096, 0..512),
+        1usize..4,
+    )
+        .prop_map(|(mut small, mut large, rep)| {
+            // Repeat the large draw to push the ratio past the gallop cutoff
+            // in some cases.
+            let extra: Vec<u32> = large.iter().map(|&v| v.wrapping_mul(rep as u32)).collect();
+            large.extend(extra);
+            small.sort_unstable();
+            small.dedup();
+            large.sort_unstable();
+            large.dedup();
+            (small, large)
+        })
 }
 
 proptest! {
@@ -102,6 +127,73 @@ proptest! {
         let g1 = Graph::from_edges(edges);
         let g2 = Graph::from_edges(doubled);
         prop_assert_eq!(g1.num_edges(), g2.num_edges());
+    }
+
+    /// Every kernel of the intersection family — merge, gallop, bitmap, the
+    /// adaptive dispatchers, and all the `*_count_*` twins — agrees with the
+    /// scalar reference on random sorted lists of every cardinality ratio.
+    #[test]
+    fn kernel_family_agrees_with_scalar_reference((small, large) in arb_skewed_lists()) {
+        let want = intersect_sorted(&small, &large);
+        let want_n = want.len() as u64;
+
+        let mut merge = Vec::new();
+        intersect_merge_into(&small, &large, &mut merge);
+        prop_assert_eq!(&merge, &want);
+        prop_assert_eq!(intersect_count_merge(&small, &large), want_n);
+
+        // Galloping in either orientation.
+        let mut gallop = Vec::new();
+        intersect_gallop_into(&small, &large, &mut gallop);
+        prop_assert_eq!(&gallop, &want);
+        gallop.clear();
+        intersect_gallop_into(&large, &small, &mut gallop);
+        prop_assert_eq!(&gallop, &want);
+        prop_assert_eq!(intersect_count_gallop(&small, &large), want_n);
+        prop_assert_eq!(intersect_count_gallop(&large, &small), want_n);
+
+        // Bitmap over the larger side, probed with the smaller.
+        let bm = HubBitmap::build(&large);
+        prop_assert_eq!(bm.cardinality() as usize, large.len());
+        let mut bitmap = Vec::new();
+        intersect_bitmap_into(&small, &bm, &mut bitmap);
+        prop_assert_eq!(&bitmap, &want);
+        prop_assert_eq!(intersect_count_bitmap(&small, &bm), want_n);
+
+        // Adaptive dispatchers pick some kernel; the result must not depend
+        // on which.
+        let mut acc = small.clone();
+        kernels::intersect_in_place(&mut acc, &large);
+        prop_assert_eq!(&acc, &want);
+        let mut acc = large.clone();
+        kernels::intersect_in_place(&mut acc, &small);
+        prop_assert_eq!(&acc, &want);
+        let (n, _) = kernels::intersect_count_adaptive(&small, &large);
+        prop_assert_eq!(n, want_n);
+    }
+
+    /// A hub index over random adjacency data answers exactly the vertices
+    /// at or above the threshold, and its bitmaps reproduce their lists.
+    #[test]
+    fn hub_index_covers_exactly_the_hubs(edges in arb_edges(96, 400),
+                                         threshold in 1usize..16) {
+        let g = Graph::from_edges(edges);
+        let verts: Vec<u32> = g.vertices().collect();
+        let index = HubIndex::build(
+            threshold,
+            verts.iter().map(|&v| (v, g.neighbours(v))),
+        );
+        for v in g.vertices() {
+            match index.get(v) {
+                Some(bm) => {
+                    prop_assert!(g.degree(v) >= threshold);
+                    let mut from_bm = Vec::new();
+                    intersect_bitmap_into(g.neighbours(v), bm, &mut from_bm);
+                    prop_assert_eq!(from_bm.as_slice(), g.neighbours(v));
+                }
+                None => prop_assert!(g.degree(v) < threshold),
+            }
+        }
     }
 }
 

@@ -170,6 +170,47 @@ fn pressure_ladder_stays_green_under_a_loose_budget() {
 }
 
 #[test]
+fn governed_columnar_run_stays_bounded_and_charges_column_bytes() {
+    // The operator currency is columnar: the bytes a governed run tracks in
+    // its operator queues are `ColBatch` bytes, and the traffic report
+    // surfaces both the column bytes produced and the intersection-kernel
+    // dispatch counts. A tight budget must still bound the peak and keep the
+    // count identical.
+    let graph = gen::barabasi_albert(1_500, 10, 5);
+    let query = Pattern::Triangle.query_graph();
+    let config = ClusterConfig::new(2).workers(2).batch_size(512);
+    let ungoverned = HugeCluster::build(graph.clone(), config.clone())
+        .unwrap()
+        .run(&query, SinkMode::Count)
+        .unwrap();
+    assert!(
+        ungoverned.comm.col_bytes > 0,
+        "columnar batches must be charged to the stats"
+    );
+    assert!(
+        ungoverned.comm.kernel_invocations() > 0,
+        "extends must record their kernel dispatches"
+    );
+
+    let budget = 48 * 1024u64;
+    let governed = HugeCluster::build(graph, config.memory_budget_per_machine(budget))
+        .unwrap()
+        .run(&query, SinkMode::Count)
+        .unwrap();
+    assert_eq!(governed.matches, ungoverned.matches);
+    let gov = governed.governor.expect("budgeted run carries a report");
+    assert_eq!(gov.peak_bytes, governed.peak_memory_bytes);
+    // One 3-column batch of slack per flow-control point (≤16), same
+    // overflow-by-at-most-one-batch bound the row-major runtime had.
+    let slack = 512 * 3 * 4 * 16;
+    assert!(
+        governed.peak_memory_bytes <= budget + slack,
+        "governed columnar peak {} exceeds budget {budget} + slack {slack}",
+        governed.peak_memory_bytes
+    );
+}
+
+#[test]
 fn pressure_levels_order_green_yellow_red() {
     // The ladder is ordered (used by the strict-DFS comparisons).
     assert!(PressureLevel::Green < PressureLevel::Yellow);

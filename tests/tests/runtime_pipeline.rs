@@ -150,7 +150,7 @@ fn steal_hand_off_conserves_cluster_wide_memory_accounting() {
     let thief = SharedQueue::new(usize::MAX / 2, Some(Arc::clone(&trackers[1])));
     let mut total_bytes = 0u64;
     for i in 0..256 {
-        let batch = RowBatch::from_flat(1, vec![i as u32; (i % 7) + 1]);
+        let batch = huge_comm::ColBatch::from_columns(vec![vec![i as u32; (i % 7) + 1]]);
         total_bytes += batch.byte_size();
         victim.push(batch);
     }
