@@ -32,7 +32,9 @@ pub mod stats;
 pub use batch::{ColBatch, RowBatch};
 pub use kv::ExternalKvStore;
 pub use network::NetworkModel;
-pub use router::{PushEnvelope, QueueAccounting, Router, RouterEndpoint};
+pub use router::{
+    ControlEnvelope, ControlMsg, PushEnvelope, QueueAccounting, Router, RouterEndpoint,
+};
 pub use rpc::RpcFabric;
 pub use stats::{ClusterStats, CommStats};
 

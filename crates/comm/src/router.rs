@@ -32,6 +32,72 @@ pub struct PushEnvelope {
     pub batch: RowBatch,
 }
 
+/// A control-plane message. Control traffic rides the same per-machine
+/// inboxes as data but in a separate, unbounded queue: it must never be
+/// rejected by backpressure (a full inbox would otherwise deadlock the
+/// steal/ack protocol) and never be confused with row-carrying envelopes.
+#[derive(Clone, Debug)]
+pub enum ControlMsg {
+    /// The sender will push no more data for `segment` (per-source-machine
+    /// end-of-stream; the speculative-sealing gate for join consumers).
+    Eos {
+        /// The producing segment that finished at the sender.
+        segment: usize,
+    },
+    /// The sender has drained its own Grace build for join `segment` and
+    /// asks the receiver for a sealed-but-unprobed partition.
+    StealRequest {
+        /// The join segment being drained.
+        segment: usize,
+    },
+    /// One sealed Grace partition, shipped in the spill encoding
+    /// (little-endian `u32` values, both sides flat).
+    PartitionShip {
+        /// The join segment the partition belongs to.
+        segment: usize,
+        /// The Grace partition index at the shipper.
+        partition: usize,
+        /// Row bytes the shipper still holds charged until the ack arrives.
+        bytes: u64,
+        /// Left (build) side rows, spill-encoded.
+        left: Vec<u8>,
+        /// Right (probe) side rows, spill-encoded.
+        right: Vec<u8>,
+    },
+    /// Negative reply to a [`ControlMsg::StealRequest`]: nothing shippable.
+    ShipNack {
+        /// The join segment of the declined request.
+        segment: usize,
+    },
+    /// The thief adopted a shipped partition; the shipper may release the
+    /// `bytes` it kept charged (allocate-before-release hand-off).
+    ShipAck {
+        /// The join segment the partition belonged to.
+        segment: usize,
+        /// The byte charge transferred with the partition.
+        bytes: u64,
+    },
+}
+
+impl ControlMsg {
+    /// Modelled wire size: a fixed header plus any shipped partition payload.
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            ControlMsg::PartitionShip { left, right, .. } => 16 + (left.len() + right.len()) as u64,
+            _ => 16,
+        }
+    }
+}
+
+/// A delivered control message with its sender.
+#[derive(Clone, Debug)]
+pub struct ControlEnvelope {
+    /// Sending machine.
+    pub from: MachineId,
+    /// The message.
+    pub msg: ControlMsg,
+}
+
 /// Byte accounting hook for inbox contents, implemented by the engine's
 /// memory tracker so queued shuffle data counts towards the paper's `M`.
 pub trait QueueAccounting: Send + Sync {
@@ -44,6 +110,9 @@ pub trait QueueAccounting: Send + Sync {
 struct InboxState {
     /// Per-segment demultiplexed queues (replaces consumer-side stashing).
     by_segment: BTreeMap<usize, VecDeque<PushEnvelope>>,
+    /// Control-plane queue: unbounded, drained separately from data so the
+    /// steal/ship/ack protocol can always make progress.
+    control: VecDeque<ControlEnvelope>,
     accounting: Option<Arc<dyn QueueAccounting>>,
 }
 
@@ -53,6 +122,8 @@ struct Inbox {
     /// Queued rows, readable without the lock for fast emptiness/fullness
     /// checks (writes happen under the lock).
     rows: AtomicUsize,
+    /// Queued control messages (same lock-free readability as `rows`).
+    control_msgs: AtomicUsize,
     /// The *effective* capacity: initialised from the configuration and
     /// adjustable at runtime (the memory governor shrinks it under pressure
     /// and restores it when pressure clears).
@@ -68,9 +139,11 @@ impl Inbox {
         Inbox {
             state: Mutex::new(InboxState {
                 by_segment: BTreeMap::new(),
+                control: VecDeque::new(),
                 accounting: None,
             }),
             rows: AtomicUsize::new(0),
+            control_msgs: AtomicUsize::new(0),
             capacity_rows: AtomicUsize::new(capacity_rows.max(1)),
             data: Condvar::new(),
             space: Condvar::new(),
@@ -137,15 +210,47 @@ impl Inbox {
         Some(env)
     }
 
-    /// Parks until data is queued, a `wake` nudge arrives, or the timeout
-    /// elapses. Returns `true` when data is available.
+    /// Enqueues a control message. Never bounded: control traffic must not
+    /// be rejectable or the steal/ack protocol could wedge behind a full
+    /// inbox. Shipped partition payload bytes are still charged to the
+    /// owner's accounting so in-flight partitions count towards `M`.
+    fn push_control(&self, env: ControlEnvelope) {
+        {
+            let mut state = self.state.lock().unwrap();
+            if let Some(acct) = &state.accounting {
+                acct.allocate(env.msg.byte_size());
+            }
+            state.control.push_back(env);
+            self.control_msgs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.data.notify_all();
+    }
+
+    /// Dequeues the next control message, if any.
+    fn pop_control(&self) -> Option<ControlEnvelope> {
+        let mut state = self.state.lock().unwrap();
+        let env = state.control.pop_front()?;
+        self.control_msgs.fetch_sub(1, Ordering::Relaxed);
+        if let Some(acct) = &state.accounting {
+            acct.release(env.msg.byte_size());
+        }
+        Some(env)
+    }
+
+    fn has_any(&self) -> bool {
+        self.rows.load(Ordering::Relaxed) > 0 || self.control_msgs.load(Ordering::Relaxed) > 0
+    }
+
+    /// Parks until data (or a control message) is queued, a `wake` nudge
+    /// arrives, or the timeout elapses. Returns `true` when something is
+    /// available.
     fn wait_data(&self, timeout: Duration) -> bool {
         let state = self.state.lock().unwrap();
-        if self.rows.load(Ordering::Relaxed) > 0 {
+        if self.has_any() {
             return true;
         }
         let _unused = self.data.wait_timeout(state, timeout).unwrap();
-        self.rows.load(Ordering::Relaxed) > 0
+        self.has_any()
     }
 
     /// Parks until space frees up or the timeout elapses.
@@ -281,6 +386,26 @@ impl RouterEndpoint {
         }
     }
 
+    /// Sends a control message to `to`. Control sends never observe
+    /// backpressure (the queue is unbounded) and wake a parked receiver.
+    /// Shipped partition payloads are charged as pushed bytes like data.
+    pub fn send_control(&self, to: MachineId, msg: ControlMsg) {
+        if to != self.machine {
+            self.stats
+                .machine(self.machine)
+                .record_push(msg.byte_size());
+        }
+        self.inboxes[to].push_control(ControlEnvelope {
+            from: self.machine,
+            msg,
+        });
+    }
+
+    /// Non-blocking receive of the next control message, if any.
+    pub fn try_recv_control(&self) -> Option<ControlEnvelope> {
+        self.inboxes[self.machine].pop_control()
+    }
+
     /// Non-blocking receive of the next pushed batch, if any.
     pub fn try_recv(&self) -> Option<PushEnvelope> {
         self.inboxes[self.machine].pop(None)
@@ -340,9 +465,10 @@ impl RouterEndpoint {
         self.inboxes[to].space.notify_all();
     }
 
-    /// `true` when this machine's inbox holds data (lock-free check).
+    /// `true` when this machine's inbox holds data or control messages
+    /// (lock-free check).
     pub fn has_data(&self) -> bool {
-        self.queued_rows() > 0
+        self.inboxes[self.machine].has_any()
     }
 
     /// Parks the calling thread until data arrives in this machine's inbox,
@@ -516,6 +642,82 @@ mod tests {
         a.push(1, 0, batch(&[1, 2, 3]));
         assert_eq!(counter.0.load(Ordering::SeqCst), 12);
         router.endpoint(1).drain();
+        assert_eq!(counter.0.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn control_messages_bypass_capacity_and_wake_the_receiver() {
+        let stats = ClusterStats::new(2);
+        // Capacity 1: the data plane is wedged shut after one batch.
+        let router = Router::with_capacity(2, stats.clone(), 1);
+        let a = router.endpoint(0);
+        let b = router.endpoint(1);
+        assert!(a.try_push(1, 0, batch(&[1, 2])).is_ok());
+        assert!(a.try_push(1, 0, batch(&[3])).is_err());
+        // Control traffic still flows and is visible to has_data/wait_data.
+        a.send_control(1, ControlMsg::Eos { segment: 4 });
+        a.send_control(
+            1,
+            ControlMsg::PartitionShip {
+                segment: 9,
+                partition: 3,
+                bytes: 8,
+                left: vec![1, 0, 0, 0],
+                right: vec![2, 0, 0, 0],
+            },
+        );
+        assert!(b.has_data());
+        assert!(b.wait_data(Duration::from_millis(1)));
+        let first = b.try_recv_control().unwrap();
+        assert_eq!(first.from, 0);
+        assert!(matches!(first.msg, ControlMsg::Eos { segment: 4 }));
+        let ship = b.try_recv_control().unwrap();
+        match ship.msg {
+            ControlMsg::PartitionShip {
+                segment,
+                partition,
+                bytes,
+                left,
+                right,
+            } => {
+                assert_eq!((segment, partition, bytes), (9, 3, 8));
+                assert_eq!((left.len(), right.len()), (4, 4));
+            }
+            other => panic!("expected a ship, got {other:?}"),
+        }
+        assert!(b.try_recv_control().is_none());
+        // Control pushes are charged as traffic (header + payload).
+        assert!(stats.machine(0).snapshot().bytes_pushed >= 16 + 24);
+    }
+
+    #[test]
+    fn control_payloads_are_charged_to_inbox_accounting() {
+        struct Counter(AtomicUsize);
+        impl QueueAccounting for Counter {
+            fn allocate(&self, bytes: u64) {
+                self.0.fetch_add(bytes as usize, Ordering::SeqCst);
+            }
+            fn release(&self, bytes: u64) {
+                self.0.fetch_sub(bytes as usize, Ordering::SeqCst);
+            }
+        }
+        let stats = ClusterStats::new(2);
+        let router = Router::new(2, stats);
+        let counter = Arc::new(Counter(AtomicUsize::new(0)));
+        router.set_accounting(1, Arc::clone(&counter) as Arc<dyn QueueAccounting>);
+        let a = router.endpoint(0);
+        a.send_control(
+            1,
+            ControlMsg::PartitionShip {
+                segment: 0,
+                partition: 0,
+                bytes: 8,
+                left: vec![0; 4],
+                right: vec![0; 4],
+            },
+        );
+        assert_eq!(counter.0.load(Ordering::SeqCst), 16 + 8);
+        router.endpoint(1).try_recv_control().unwrap();
         assert_eq!(counter.0.load(Ordering::SeqCst), 0);
     }
 

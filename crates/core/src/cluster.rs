@@ -20,7 +20,7 @@ use crate::governor::MemoryGovernor;
 use crate::machine::{MachineState, SegmentPlan, Terminal};
 use crate::memory::MemoryTracker;
 use crate::operators::ScanPool;
-use crate::report::{merge_cache_stats, RunReport};
+use crate::report::{merge_cache_stats, JoinReport, RunReport};
 use crate::scheduler::{RunShared, SegmentQueues, SegmentShared};
 use crate::{EngineError, Result};
 
@@ -287,6 +287,10 @@ impl HugeCluster {
             .max()
             .unwrap_or_default();
         let peak_memory_bytes = machines.iter().map(|m| m.memory.peak()).max().unwrap_or(0);
+        let mut join = JoinReport::default();
+        for m in &machine_reports {
+            join.merge(&m.join);
+        }
 
         Ok(RunReport {
             query: dataflow.query.name().to_string(),
@@ -302,6 +306,7 @@ impl HugeCluster {
             pipelined: self.config.pipeline_segments,
             machine_threads_spawned: threads_spawned.load(Ordering::Relaxed),
             governor: governor.report(peak_memory_bytes),
+            join,
             machines: machine_reports,
         })
     }

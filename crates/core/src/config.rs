@@ -92,6 +92,20 @@ pub struct ClusterConfig {
     /// Enable inter-machine work stealing (only meaningful with
     /// [`LoadBalance::WorkStealing`]).
     pub inter_machine_stealing: bool,
+    /// Enable cross-machine Grace *partition* stealing: a machine that has
+    /// finished probing its own sealed join build requests
+    /// sealed-but-unprobed partitions from busy peers through the router's
+    /// control plane, so one hot partition no longer serialises the join
+    /// phase. Requires inter-machine stealing (the same Exp-8 knob covers
+    /// both layers) and a pipelined multi-machine run to have any effect.
+    pub partition_stealing: bool,
+    /// Enable speculative sealing: producers broadcast per-source-machine
+    /// end-of-stream control envelopes when they finish feeding a join, and
+    /// a consumer seals (and starts probing) the join as soon as every
+    /// source has signalled — ahead of observing the per-segment `remaining`
+    /// counter gate. The lead is reported per run
+    /// ([`JoinReport::seal_lead`](crate::report::JoinReport)).
+    pub speculative_sealing: bool,
     /// Execute segments without barriers (default): each machine thread is
     /// spawned once per run and drives all segments by readiness, so a fast
     /// machine moves on while a straggler finishes. `false` restores the
@@ -115,6 +129,18 @@ pub struct ClusterConfig {
     /// Network model used to convert recorded traffic into the reported
     /// communication time `T_C`.
     pub network: NetworkModel,
+    /// Budget fraction at which the memory governor enters the Yellow
+    /// pressure level (queue/inbox capacities shrink).
+    pub governor_enter_yellow: f64,
+    /// Budget fraction below which Yellow pressure clears (hysteresis: must
+    /// be below [`ClusterConfig::governor_enter_yellow`]).
+    pub governor_exit_yellow: f64,
+    /// Budget fraction at which the governor enters the Red pressure level
+    /// (strict DFS, one-row queues, join spill).
+    pub governor_enter_red: f64,
+    /// Budget fraction below which Red pressure drops back to Yellow
+    /// (hysteresis: must be below [`ClusterConfig::governor_enter_red`]).
+    pub governor_exit_red: f64,
 }
 
 impl ClusterConfig {
@@ -134,11 +160,17 @@ impl ClusterConfig {
             hub_degree_threshold: 256,
             load_balance: LoadBalance::WorkStealing,
             inter_machine_stealing: true,
+            partition_stealing: true,
+            speculative_sealing: true,
             pipeline_segments: true,
             memory_budget: None,
             memory_budget_per_machine: None,
             fault_injection: None,
             network: NetworkModel::ten_gbps(machines.max(1)),
+            governor_enter_yellow: 0.60,
+            governor_exit_yellow: 0.45,
+            governor_enter_red: 0.85,
+            governor_exit_red: 0.70,
         }
     }
 
@@ -198,7 +230,40 @@ impl ClusterConfig {
         self.load_balance = lb;
         if lb != LoadBalance::WorkStealing {
             self.inter_machine_stealing = false;
+            self.partition_stealing = false;
         }
+        self
+    }
+
+    /// Enables or disables cross-machine Grace partition stealing.
+    pub fn partition_stealing(mut self, enabled: bool) -> Self {
+        self.partition_stealing = enabled;
+        self
+    }
+
+    /// Enables or disables speculative join sealing via per-source-machine
+    /// end-of-stream control envelopes.
+    pub fn speculative_sealing(mut self, enabled: bool) -> Self {
+        self.speculative_sealing = enabled;
+        self
+    }
+
+    /// Sets the memory governor's pressure-ladder thresholds as budget
+    /// fractions. Each level's enter threshold must stay above its exit
+    /// threshold (that gap is the hysteresis band) and the Red thresholds
+    /// above their Yellow counterparts; [`ClusterConfig::validate`] enforces
+    /// both.
+    pub fn governor_thresholds(
+        mut self,
+        enter_yellow: f64,
+        exit_yellow: f64,
+        enter_red: f64,
+        exit_red: f64,
+    ) -> Self {
+        self.governor_enter_yellow = enter_yellow;
+        self.governor_exit_yellow = exit_yellow;
+        self.governor_enter_red = enter_red;
+        self.governor_exit_red = exit_red;
         self
     }
 
@@ -277,6 +342,33 @@ impl ClusterConfig {
         }
         if self.batch_size == 0 {
             return Err("batch size must be positive".into());
+        }
+        let ladder = [
+            (
+                "yellow",
+                self.governor_enter_yellow,
+                self.governor_exit_yellow,
+            ),
+            ("red", self.governor_enter_red, self.governor_exit_red),
+        ];
+        for (level, enter, exit) in ladder {
+            if !(enter.is_finite() && exit.is_finite()) || enter <= 0.0 || exit < 0.0 {
+                return Err(format!(
+                    "governor {level} thresholds must be positive and finite"
+                ));
+            }
+            if enter <= exit {
+                return Err(format!(
+                    "governor {level} enter threshold ({enter}) must exceed its exit \
+                     threshold ({exit}) — the gap is the hysteresis band"
+                ));
+            }
+        }
+        if self.governor_enter_red <= self.governor_enter_yellow {
+            return Err(format!(
+                "governor red enter threshold ({}) must exceed the yellow enter threshold ({})",
+                self.governor_enter_red, self.governor_enter_yellow
+            ));
         }
         Ok(())
     }
@@ -363,6 +455,50 @@ mod tests {
         assert_eq!(cfg.output_queue_rows, 1);
         assert_eq!(cfg.router_queue_rows, 1);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn skew_knobs_default_on_and_follow_load_balance() {
+        let cfg = ClusterConfig::new(4);
+        assert!(cfg.partition_stealing);
+        assert!(cfg.speculative_sealing);
+        // Static load balancing turns both stealing layers off.
+        let cfg = ClusterConfig::new(4).load_balance(LoadBalance::None);
+        assert!(!cfg.inter_machine_stealing);
+        assert!(!cfg.partition_stealing);
+        let cfg = ClusterConfig::new(4)
+            .partition_stealing(false)
+            .speculative_sealing(false);
+        assert!(!cfg.partition_stealing);
+        assert!(!cfg.speculative_sealing);
+    }
+
+    #[test]
+    fn governor_thresholds_default_to_the_historic_ladder_and_validate() {
+        let cfg = ClusterConfig::new(2);
+        assert_eq!(
+            (
+                cfg.governor_enter_yellow,
+                cfg.governor_exit_yellow,
+                cfg.governor_enter_red,
+                cfg.governor_exit_red
+            ),
+            (0.60, 0.45, 0.85, 0.70)
+        );
+        assert!(cfg.validate().is_ok());
+        let cfg = ClusterConfig::new(2).governor_thresholds(0.5, 0.3, 0.9, 0.8);
+        assert!(cfg.validate().is_ok());
+        // Enter must exceed exit (no hysteresis band = flapping).
+        let cfg = ClusterConfig::new(2).governor_thresholds(0.45, 0.60, 0.85, 0.70);
+        assert!(cfg.validate().is_err());
+        let cfg = ClusterConfig::new(2).governor_thresholds(0.60, 0.45, 0.70, 0.70);
+        assert!(cfg.validate().is_err());
+        // Red must sit above yellow.
+        let cfg = ClusterConfig::new(2).governor_thresholds(0.80, 0.45, 0.60, 0.50);
+        assert!(cfg.validate().is_err());
+        // Degenerate values are rejected.
+        let cfg = ClusterConfig::new(2).governor_thresholds(f64::NAN, 0.45, 0.85, 0.70);
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

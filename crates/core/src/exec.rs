@@ -366,6 +366,38 @@ impl PushJoin {
             _ => Ok(0),
         }
     }
+
+    /// Extracts one sealed-but-unprobed Grace partition for shipping to a
+    /// peer (partition stealing), whichever phase the join is in. Returns
+    /// the partition index and both sides' rows, which keep their memory
+    /// charge until the thief acks adoption. `None` when nothing is
+    /// shippable. Only sound once no further input can arrive for this join.
+    pub fn take_unprobed_partition(&mut self) -> Result<Option<crate::join::TakenPartition>> {
+        match (&mut self.joiner, &mut self.stream) {
+            (Some(j), _) => j.take_unprobed_partition(),
+            (_, Some(s)) => s.take_unprobed_partition(),
+            _ => Ok(None),
+        }
+    }
+
+    /// Adopts a partition shipped from a peer into the sealed stream. The
+    /// caller must have charged the rows' bytes to this machine's tracker
+    /// already (on receipt); the stream releases them after the probe.
+    /// Returns `false` (rows untouched, caller keeps the charge) when the
+    /// join is not in a phase that can adopt — exhausted streams still can.
+    pub fn adopt_partition(
+        &mut self,
+        left_rows: Vec<huge_graph::VertexId>,
+        right_rows: Vec<huge_graph::VertexId>,
+    ) -> bool {
+        match self.stream.as_mut() {
+            Some(s) => {
+                s.adopt_partition(left_rows, right_rows);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 impl BatchOperator for PushJoin {
@@ -404,7 +436,8 @@ impl BatchOperator for PushJoin {
                     return Ok(OpPoll::Ready(batch));
                 }
                 None => {
-                    self.stream = None;
+                    // Keep the exhausted stream alive: a partition adopted
+                    // from a peer (partition stealing) revives it.
                     return Ok(OpPoll::Exhausted);
                 }
             }

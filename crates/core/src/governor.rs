@@ -46,14 +46,6 @@ use crate::config::ClusterConfig;
 use crate::memory::MemoryTracker;
 use crate::report::GovernorReport;
 
-/// Enter Yellow when current bytes reach this fraction of the budget.
-const ENTER_YELLOW: f64 = 0.60;
-/// Leave Yellow (back to Green) below this fraction.
-const EXIT_YELLOW: f64 = 0.45;
-/// Enter Red at this fraction.
-const ENTER_RED: f64 = 0.85;
-/// Leave Red (back to Yellow) below this fraction.
-const EXIT_RED: f64 = 0.70;
 /// Capacity divisor applied under Yellow pressure.
 const YELLOW_SHRINK: usize = 8;
 /// Scan-batch divisor applied under Red pressure.
@@ -92,6 +84,7 @@ struct MachineControl {
     transitions_to_red: AtomicU64,
     throttled_batches: AtomicU64,
     spilled_bytes: AtomicU64,
+    shipped_bytes: AtomicU64,
 }
 
 /// The per-run bounded-memory controller. One instance is shared by every
@@ -105,6 +98,13 @@ pub struct MemoryGovernor {
     output_queue_rows: usize,
     router_queue_rows: usize,
     batch_size: usize,
+    /// Ladder thresholds as budget fractions, from
+    /// [`ClusterConfig::governor_thresholds`](crate::config::ClusterConfig::governor_thresholds):
+    /// `(enter_yellow, exit_yellow, enter_red, exit_red)`.
+    enter_yellow: f64,
+    exit_yellow: f64,
+    enter_red: f64,
+    exit_red: f64,
     router: RouterEndpoint,
 }
 
@@ -128,6 +128,7 @@ impl MemoryGovernor {
                 transitions_to_red: AtomicU64::new(0),
                 throttled_batches: AtomicU64::new(0),
                 spilled_bytes: AtomicU64::new(0),
+                shipped_bytes: AtomicU64::new(0),
             })
             .collect();
         Arc::new(MemoryGovernor {
@@ -137,6 +138,10 @@ impl MemoryGovernor {
             output_queue_rows,
             router_queue_rows: config.router_queue_rows.max(1),
             batch_size: config.batch_size.max(1),
+            enter_yellow: config.governor_enter_yellow,
+            exit_yellow: config.governor_exit_yellow,
+            enter_red: config.governor_enter_red,
+            exit_red: config.governor_exit_red,
             router,
         })
     }
@@ -185,27 +190,27 @@ impl MemoryGovernor {
         let old = PressureLevel::from_u8(ctl.level.load(Ordering::Relaxed));
         let new = match old {
             PressureLevel::Green => {
-                if current >= budget * ENTER_RED {
+                if current >= budget * self.enter_red {
                     PressureLevel::Red
-                } else if current >= budget * ENTER_YELLOW {
+                } else if current >= budget * self.enter_yellow {
                     PressureLevel::Yellow
                 } else {
                     PressureLevel::Green
                 }
             }
             PressureLevel::Yellow => {
-                if current >= budget * ENTER_RED {
+                if current >= budget * self.enter_red {
                     PressureLevel::Red
-                } else if current < budget * EXIT_YELLOW {
+                } else if current < budget * self.exit_yellow {
                     PressureLevel::Green
                 } else {
                     PressureLevel::Yellow
                 }
             }
             PressureLevel::Red => {
-                if current < budget * EXIT_YELLOW {
+                if current < budget * self.exit_yellow {
                     PressureLevel::Green
-                } else if current < budget * EXIT_RED {
+                } else if current < budget * self.exit_red {
                     PressureLevel::Yellow
                 } else {
                     PressureLevel::Red
@@ -275,6 +280,16 @@ impl MemoryGovernor {
             .fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Records `bytes` of sealed Grace partitions machine `m` shipped to a
+    /// thief (partition stealing); the victim's accounting keeps the charge
+    /// until the thief's `ShipAck` arrives, at which point this counter is
+    /// bumped and the bytes are released.
+    pub fn record_shipped(&self, m: usize, bytes: u64) {
+        self.machines[m]
+            .shipped_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Summarises the run for [`RunReport`](crate::report::RunReport):
     /// `None` when no budget was configured. `peak_bytes` is the run's
     /// observed peak (max over machines), compared against the per-machine
@@ -296,6 +311,7 @@ impl MemoryGovernor {
             transitions_to_red: sum(|c| &c.transitions_to_red),
             throttled_batches: sum(|c| &c.throttled_batches),
             spilled_bytes: sum(|c| &c.spilled_bytes),
+            shipped_bytes: sum(|c| &c.shipped_bytes),
             peak_bytes,
         })
     }
@@ -399,10 +415,40 @@ mod tests {
         gov.record_throttled(1);
         gov.record_spill(0, 100);
         gov.record_spill(1, 11);
+        gov.record_shipped(0, 40);
+        gov.record_shipped(1, 2);
         let report = gov.report(2_000).unwrap();
         assert_eq!(report.machine_budget_bytes, 500);
         assert_eq!(report.throttled_batches, 3);
         assert_eq!(report.spilled_bytes, 111);
+        assert_eq!(report.shipped_bytes, 42);
         assert!(report.over_budget());
+    }
+
+    #[test]
+    fn ladder_thresholds_come_from_the_config() {
+        // A much earlier ladder: Yellow at 20%, Red at 50%.
+        let config = ClusterConfig::new(1)
+            .batch_size(16)
+            .output_queue_rows(8_000)
+            .router_queue_rows(8_000)
+            .governor_thresholds(0.20, 0.10, 0.50, 0.30)
+            .memory_budget(1_000);
+        config.validate().unwrap();
+        let (gov, trackers, _router) = setup(&config);
+        let t = &trackers[0];
+        t.allocate(190);
+        assert_eq!(gov.tick(0), PressureLevel::Green);
+        t.allocate(10);
+        assert_eq!(gov.tick(0), PressureLevel::Yellow);
+        t.allocate(300);
+        assert_eq!(gov.tick(0), PressureLevel::Red);
+        // Hysteresis bands follow the configured exits, not the defaults.
+        t.release(150);
+        assert_eq!(gov.tick(0), PressureLevel::Red);
+        t.release(60);
+        assert_eq!(gov.tick(0), PressureLevel::Yellow);
+        t.release(200);
+        assert_eq!(gov.tick(0), PressureLevel::Green);
     }
 }

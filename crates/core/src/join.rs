@@ -13,8 +13,8 @@
 //! "memory consumption is bounded to the buffer size" claim — on *every*
 //! consumption path, including incremental `poll`-driven execution.
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::fs::OpenOptions;
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use huge_comm::{ColBatch, RowBatch};
@@ -26,7 +26,29 @@ use crate::operators::passes_filters;
 use crate::Result;
 
 /// Number of Grace partitions per side.
-const NUM_PARTITIONS: usize = 16;
+pub const NUM_PARTITIONS: usize = 16;
+
+/// Lifecycle of one Grace partition inside a sealed join.
+///
+/// `Sealed` partitions are first-class work items: they can be probed
+/// locally or shipped whole to an idle peer (partition stealing). The
+/// transitions are `Sealed → Probing → Done` locally and `Sealed → Shipped`
+/// when a steal request claims the partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionState {
+    /// Sealed but not yet probed — eligible for shipping to a peer.
+    Sealed,
+    /// Loaded and currently being probed on this machine.
+    Probing,
+    /// Handed to a thief machine; no longer this machine's work.
+    Shipped,
+    /// Probed to completion (or discarded as unmatchable).
+    Done,
+}
+
+/// A sealed Grace partition claimed for shipping: `(partition index, left
+/// rows, right rows)`, with both sides flat in the spill row encoding.
+pub type TakenPartition = (usize, Vec<VertexId>, Vec<VertexId>);
 
 /// Which input of the join a batch belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,6 +59,26 @@ pub enum JoinSide {
     Right,
 }
 
+/// Encodes rows in the spill encoding: every value as a little-endian
+/// `u32`, flat. This is byte-identical to the on-disk spill format, so a
+/// shipped partition round-trips bit-for-bit through [`decode_rows`]
+/// whether it came from memory or from a spill file.
+pub fn encode_rows(rows: &[VertexId]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(std::mem::size_of_val(rows));
+    for v in rows {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a spill-encoded byte buffer back into rows.
+pub fn decode_rows(bytes: &[u8]) -> Vec<VertexId> {
+    bytes
+        .chunks_exact(std::mem::size_of::<VertexId>())
+        .map(|c| VertexId::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
 /// Hashes the join-key columns of a row.
 pub fn key_hash(row: &[VertexId], key_positions: &[usize]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -45,6 +87,25 @@ pub fn key_hash(row: &[VertexId], key_positions: &[usize]) -> u64 {
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
     h
+}
+
+/// Widest join key (in columns) that packs exactly into a `u128`.
+const PACK_MAX_KEY: usize = 4;
+
+/// Packs the join-key columns of a row into a single `u128` table key. Up to
+/// [`PACK_MAX_KEY`] columns pack positionally (collision-free); wider keys
+/// fall back to the FNV hash, and the probe re-checks column equality on
+/// each candidate match.
+fn pack_key(row: &[VertexId], key_positions: &[usize]) -> u128 {
+    if key_positions.len() <= PACK_MAX_KEY {
+        let mut k = 0u128;
+        for &pos in key_positions {
+            k = (k << 32) | row[pos] as u128;
+        }
+        k
+    } else {
+        key_hash(row, key_positions) as u128
+    }
 }
 
 struct SidePartition {
@@ -100,6 +161,8 @@ pub struct HashJoiner {
     spill_dir: PathBuf,
     spill_counter: usize,
     memory: MemoryTrackerHandle,
+    /// Partitions already shipped to a thief before sealing.
+    shipped: Vec<bool>,
 }
 
 /// A thin optional handle so the joiner can be used without a tracker in
@@ -145,7 +208,32 @@ impl HashJoiner {
             spill_dir,
             spill_counter: 0,
             memory,
+            shipped: vec![false; NUM_PARTITIONS],
         }
+    }
+
+    /// Ships one not-yet-shipped partition out of a pending (unsealed)
+    /// joiner, highest index first. Only sound once no further input can
+    /// arrive for this join — the thief's steal request implies global
+    /// end-of-stream for both producers. Partitions empty on either side are
+    /// skipped (they produce nothing and are cheaper discarded locally).
+    ///
+    /// The returned rows *keep* their memory-tracker charge: in-memory bytes
+    /// stay charged and spilled bytes are newly charged as they are read
+    /// back, so the charge travels with the partition and is only released
+    /// when the thief acknowledges adoption (allocate-before-release, as in
+    /// `SharedQueue::steal_into`).
+    pub fn take_unprobed_partition(&mut self) -> Result<Option<TakenPartition>> {
+        for p in (0..NUM_PARTITIONS).rev() {
+            if self.shipped[p] || !side_has_rows(&self.left, p) || !side_has_rows(&self.right, p) {
+                continue;
+            }
+            let left = take_side_rows(&mut self.left, p, &self.memory)?;
+            let right = take_side_rows(&mut self.right, p, &self.memory)?;
+            self.shipped[p] = true;
+            return Ok(Some((p, left, right)));
+        }
+        Ok(None)
     }
 
     /// Arity of the joined output rows.
@@ -237,6 +325,17 @@ impl HashJoiner {
         let right = std::mem::replace(&mut self.right, SideBuffer::new(0, Vec::new()));
         let memory = self.memory.clone();
         let out_arity = left.arity + op.right_payload.len();
+        let states = self
+            .shipped
+            .iter()
+            .map(|&s| {
+                if s {
+                    PartitionState::Shipped
+                } else {
+                    PartitionState::Sealed
+                }
+            })
+            .collect();
         JoinStream {
             op,
             left,
@@ -249,6 +348,8 @@ impl HashJoiner {
             produced: 0,
             spill_dir: self.spill_dir.clone(),
             spill_counter: self.spill_counter,
+            states,
+            adopted: std::collections::VecDeque::new(),
         }
     }
 
@@ -277,19 +378,44 @@ impl Drop for HashJoiner {
 }
 
 /// Probe state of the one partition currently loaded in memory.
+///
+/// The right-side table maps each packed join key to a `(start, end)` range
+/// of `order` (a CSR layout grouping right-row indices by key), so the probe
+/// loop performs no per-row heap allocation — keys pack into a `u128` and
+/// candidate lists are slices of one shared index vector. This matters
+/// beyond single-probe speed: stolen partitions are probed *concurrently* by
+/// several machine threads, and per-row allocation serialises them on the
+/// global allocator.
 struct PartitionProbe {
     left_rows: Vec<VertexId>,
     right_rows: Vec<VertexId>,
-    /// Right-side hash table: join key -> right row indices.
-    table: std::collections::HashMap<Vec<VertexId>, Vec<usize>>,
+    /// Packed join key -> `(start, end)` range into `order`.
+    table: std::collections::HashMap<u128, (u32, u32)>,
+    /// Right-row indices grouped by join key (CSR payload for `table`).
+    order: Vec<u32>,
+    /// Keys wider than [`PACK_MAX_KEY`] columns are FNV-hashed into the
+    /// `u128` instead of packed exactly; candidates then re-check key
+    /// equality column-by-column during the probe.
+    verify_keys: bool,
     /// Index of the left row being probed.
     probe: usize,
-    /// Matching right-row indices of the current left row.
-    matches: Vec<usize>,
-    /// Cursor into `matches`.
-    match_pos: usize,
+    /// Cursor into the current left row's candidate range of `order`.
+    match_pos: u32,
+    /// End of the current left row's candidate range of `order`.
+    match_end: u32,
     /// Bytes of the loaded rows, charged to the tracker while resident.
     loaded_bytes: u64,
+    /// Local partition index (`None` for partitions adopted from a peer).
+    index: Option<usize>,
+}
+
+/// A partition shipped from a peer, queued for probing. Its `bytes` were
+/// charged to this machine's tracker on receipt; the stream releases them
+/// when the probe completes (or on `Drop`).
+struct AdoptedPartition {
+    left_rows: Vec<VertexId>,
+    right_rows: Vec<VertexId>,
+    bytes: u64,
 }
 
 /// The sealed join, driven lazily one output batch at a time.
@@ -309,6 +435,10 @@ pub struct JoinStream {
     produced: u64,
     spill_dir: PathBuf,
     spill_counter: usize,
+    /// Lifecycle of each local Grace partition.
+    states: Vec<PartitionState>,
+    /// Partitions adopted from peers, probed after the local ones.
+    adopted: std::collections::VecDeque<AdoptedPartition>,
 }
 
 impl JoinStream {
@@ -322,9 +452,50 @@ impl JoinStream {
         self.produced
     }
 
-    /// `true` once every partition has been consumed.
+    /// `true` once every local partition and every adopted partition has
+    /// been consumed.
     pub fn is_exhausted(&self) -> bool {
-        self.current.is_none() && self.partition >= NUM_PARTITIONS
+        self.current.is_none() && self.partition >= NUM_PARTITIONS && self.adopted.is_empty()
+    }
+
+    /// Lifecycle states of the local Grace partitions.
+    pub fn partition_states(&self) -> &[PartitionState] {
+        &self.states
+    }
+
+    /// Ships one sealed-but-unprobed partition, highest index first (the
+    /// probe cursor walks upward, so the highest sealed partition is the
+    /// farthest from being reached — the same take-from-the-back policy as
+    /// `SharedQueue::steal_into`). Partitions empty on either side are
+    /// skipped. The rows keep their tracker charge; see
+    /// [`HashJoiner::take_unprobed_partition`] for the hand-off discipline.
+    pub fn take_unprobed_partition(&mut self) -> Result<Option<TakenPartition>> {
+        for p in (self.partition..NUM_PARTITIONS).rev() {
+            if self.states[p] != PartitionState::Sealed
+                || !side_has_rows(&self.left, p)
+                || !side_has_rows(&self.right, p)
+            {
+                continue;
+            }
+            let left = take_side_rows(&mut self.left, p, &self.memory)?;
+            let right = take_side_rows(&mut self.right, p, &self.memory)?;
+            self.states[p] = PartitionState::Shipped;
+            return Ok(Some((p, left, right)));
+        }
+        Ok(None)
+    }
+
+    /// Adopts a partition shipped from a peer. The caller has already
+    /// charged the partition's bytes to this machine's tracker (on receipt,
+    /// before the shipper releases its side — allocate-before-release); the
+    /// stream releases the charge when the adopted probe completes.
+    pub fn adopt_partition(&mut self, left_rows: Vec<VertexId>, right_rows: Vec<VertexId>) {
+        let bytes = ((left_rows.len() + right_rows.len()) * std::mem::size_of::<VertexId>()) as u64;
+        self.adopted.push_back(AdoptedPartition {
+            left_rows,
+            right_rows,
+            bytes,
+        });
     }
 
     /// Bytes of not-yet-loaded partitions still resident in memory.
@@ -351,42 +522,43 @@ impl JoinStream {
         loop {
             if self.current.is_none() {
                 if self.partition >= NUM_PARTITIONS {
-                    return Ok(None);
+                    // Local partitions done: probe adopted (stolen) ones.
+                    // Their bytes were charged on receipt, not here.
+                    match self.adopted.pop_front() {
+                        Some(a) => {
+                            self.current =
+                                Some(self.build_probe(a.left_rows, a.right_rows, a.bytes, None));
+                        }
+                        None => return Ok(None),
+                    }
+                } else {
+                    let p = self.partition;
+                    self.partition += 1;
+                    if self.states[p] == PartitionState::Shipped {
+                        // A thief owns this partition now.
+                        continue;
+                    }
+                    let left_rows = load_partition(&mut self.left, p, &self.memory)?;
+                    if left_rows.is_empty() {
+                        // Nothing to probe with: unlink the right side's
+                        // buffer and spill file without reading it back.
+                        discard_partition(&mut self.right, p, &self.memory);
+                        self.states[p] = PartitionState::Done;
+                        continue;
+                    }
+                    let right_rows = load_partition(&mut self.right, p, &self.memory)?;
+                    if right_rows.is_empty() {
+                        self.states[p] = PartitionState::Done;
+                        continue;
+                    }
+                    let loaded_bytes = ((left_rows.len() + right_rows.len())
+                        * std::mem::size_of::<VertexId>())
+                        as u64;
+                    self.memory.allocate(loaded_bytes);
+                    self.states[p] = PartitionState::Probing;
+                    self.current =
+                        Some(self.build_probe(left_rows, right_rows, loaded_bytes, Some(p)));
                 }
-                let p = self.partition;
-                self.partition += 1;
-                let left_rows = load_partition(&mut self.left, p, &self.memory)?;
-                if left_rows.is_empty() {
-                    // Nothing to probe with: unlink the right side's buffer
-                    // and spill file without reading it back.
-                    discard_partition(&mut self.right, p, &self.memory);
-                    continue;
-                }
-                let right_rows = load_partition(&mut self.right, p, &self.memory)?;
-                if right_rows.is_empty() {
-                    continue;
-                }
-                // Build on the right side, probe with the left (the left's
-                // columns form the output prefix either way).
-                let mut table: std::collections::HashMap<Vec<VertexId>, Vec<usize>> =
-                    std::collections::HashMap::new();
-                for (idx, row) in right_rows.chunks_exact(self.right.arity).enumerate() {
-                    let key: Vec<VertexId> =
-                        self.op.key_right.iter().map(|&pos| row[pos]).collect();
-                    table.entry(key).or_default().push(idx);
-                }
-                let loaded_bytes =
-                    ((left_rows.len() + right_rows.len()) * std::mem::size_of::<VertexId>()) as u64;
-                self.memory.allocate(loaded_bytes);
-                self.current = Some(PartitionProbe {
-                    left_rows,
-                    right_rows,
-                    table,
-                    probe: 0,
-                    matches: Vec::new(),
-                    match_pos: 0,
-                    loaded_bytes,
-                });
             }
 
             let mut out = ColBatch::with_capacity(self.out_arity, self.batch_rows.min(64 * 1024));
@@ -394,12 +566,64 @@ impl JoinStream {
             if exhausted {
                 let probe = self.current.take().expect("current probe exists");
                 self.memory.release(probe.loaded_bytes);
+                if let Some(p) = probe.index {
+                    self.states[p] = PartitionState::Done;
+                }
             }
             if !out.is_empty() {
                 self.produced += out.len() as u64;
                 return Ok(Some(out));
             }
             // The partition produced nothing (no key overlap): move on.
+        }
+    }
+
+    /// Builds the probe state for one partition: a hash table over the
+    /// right rows (the build side), probed by the left rows. The left's
+    /// columns form the output prefix either way. The table is built in two
+    /// counting passes into a CSR layout — no per-key index vectors.
+    fn build_probe(
+        &self,
+        left_rows: Vec<VertexId>,
+        right_rows: Vec<VertexId>,
+        loaded_bytes: u64,
+        index: Option<usize>,
+    ) -> PartitionProbe {
+        let arity = self.right.arity.max(1);
+        let n_rows = right_rows.len() / arity;
+        let mut table: std::collections::HashMap<u128, (u32, u32)> =
+            std::collections::HashMap::new();
+        for row in right_rows.chunks_exact(arity) {
+            let key = pack_key(row, &self.op.key_right);
+            table.entry(key).or_insert((0, 0)).1 += 1;
+        }
+        // Turn per-key counts into `order` offsets: each entry becomes
+        // (start, cursor); the placement pass advances the cursor to the
+        // range's end.
+        let mut offset = 0u32;
+        for range in table.values_mut() {
+            let count = range.1;
+            *range = (offset, offset);
+            offset += count;
+        }
+        let mut order = vec![0u32; n_rows];
+        for (idx, row) in right_rows.chunks_exact(arity).enumerate() {
+            let key = pack_key(row, &self.op.key_right);
+            let range = table.get_mut(&key).expect("key counted in first pass");
+            order[range.1 as usize] = idx as u32;
+            range.1 += 1;
+        }
+        PartitionProbe {
+            left_rows,
+            right_rows,
+            table,
+            order,
+            verify_keys: self.op.key_right.len() > PACK_MAX_KEY,
+            probe: 0,
+            match_pos: 0,
+            match_end: 0,
+            loaded_bytes,
+            index,
         }
     }
 
@@ -412,20 +636,40 @@ impl JoinStream {
         let left_len = probe.left_rows.len() / left_arity.max(1);
         let mut joined: Vec<VertexId> = Vec::with_capacity(self.out_arity);
         while out.len() < self.batch_rows {
-            if probe.probe >= left_len {
-                return true;
-            }
-            let lrow = &probe.left_rows[probe.probe * left_arity..(probe.probe + 1) * left_arity];
-            if probe.match_pos == 0 && probe.matches.is_empty() {
-                let key: Vec<VertexId> = self.op.key_left.iter().map(|&pos| lrow[pos]).collect();
-                if let Some(matches) = probe.table.get(&key) {
-                    probe.matches.clone_from(matches);
+            if probe.match_pos == probe.match_end {
+                // Advance to the next left row with candidate matches.
+                loop {
+                    if probe.probe >= left_len {
+                        return true;
+                    }
+                    let lrow =
+                        &probe.left_rows[probe.probe * left_arity..(probe.probe + 1) * left_arity];
+                    let key = pack_key(lrow, &self.op.key_left);
+                    if let Some(&(start, end)) = probe.table.get(&key) {
+                        probe.match_pos = start;
+                        probe.match_end = end;
+                        break;
+                    }
+                    probe.probe += 1;
                 }
             }
-            while probe.match_pos < probe.matches.len() && out.len() < self.batch_rows {
-                let ridx = probe.matches[probe.match_pos];
+            let lrow = &probe.left_rows[probe.probe * left_arity..(probe.probe + 1) * left_arity];
+            while probe.match_pos < probe.match_end && out.len() < self.batch_rows {
+                let ridx = probe.order[probe.match_pos as usize] as usize;
                 probe.match_pos += 1;
                 let rrow = &probe.right_rows[ridx * right_arity..(ridx + 1) * right_arity];
+                // Hash-packed (wide) keys can collide: re-check equality.
+                if probe.verify_keys {
+                    let keys_equal = self
+                        .op
+                        .key_left
+                        .iter()
+                        .zip(&self.op.key_right)
+                        .all(|(&lpos, &rpos)| lrow[lpos] == rrow[rpos]);
+                    if !keys_equal {
+                        continue;
+                    }
+                }
                 // Cross-side injectivity: appended payload vertices must not
                 // collide with any left-bound vertex.
                 let payload_ok = self
@@ -445,10 +689,8 @@ impl JoinStream {
                     out.push_row(&joined);
                 }
             }
-            if probe.match_pos >= probe.matches.len() {
+            if probe.match_pos == probe.match_end {
                 probe.probe += 1;
-                probe.matches.clear();
-                probe.match_pos = 0;
             }
         }
         false
@@ -465,6 +707,9 @@ impl Drop for JoinStream {
         self.right.buffered_bytes = 0;
         if let Some(probe) = self.current.take() {
             self.memory.release(probe.loaded_bytes);
+        }
+        for adopted in self.adopted.drain(..) {
+            self.memory.release(adopted.bytes);
         }
     }
 }
@@ -496,9 +741,7 @@ fn spill_partition(
     std::fs::create_dir_all(spill_dir)?;
     let file = OpenOptions::new().create(true).append(true).open(&path)?;
     let mut w = BufWriter::new(file);
-    for v in &part.rows_in_memory {
-        w.write_all(&v.to_le_bytes())?;
-    }
+    w.write_all(&encode_rows(&part.rows_in_memory))?;
     w.flush()?;
     part.spilled_values += part.rows_in_memory.len() as u64;
     let bytes = part.memory_bytes;
@@ -554,15 +797,41 @@ fn load_partition(
     memory.release(part.memory_bytes);
     part.memory_bytes = 0;
     if let Some(path) = part.spill_file.take() {
-        let file = File::open(&path)?;
-        let mut reader = BufReader::new(file);
-        let mut buf = [0u8; 4];
-        let mut from_disk = Vec::with_capacity(part.spilled_values as usize);
-        while reader.read_exact(&mut buf).is_ok() {
-            from_disk.push(VertexId::from_le_bytes(buf));
-        }
+        rows.extend(decode_rows(&std::fs::read(&path)?));
+        let _ = std::fs::remove_file(&path);
+    }
+    Ok(rows)
+}
+
+/// `true` when one partition of one side holds any rows (in memory or
+/// spilled) — i.e. shipping it would move real work.
+fn side_has_rows(side: &SideBuffer, p: usize) -> bool {
+    let part = &side.partitions[p];
+    !part.rows_in_memory.is_empty() || part.spill_file.is_some()
+}
+
+/// Extracts one partition of one side for shipping, *keeping* its memory
+/// charge: in-memory rows stay charged to the tracker (ownership of the
+/// charge moves to the shipper's pending-ship ledger) and spilled rows are
+/// newly charged as they come back from disk. Combined with the thief
+/// charging on receipt before the shipper releases on ack, the cluster-wide
+/// tracked sum can transiently over-count but never under-count during a
+/// hand-off — the same discipline as `SharedQueue::steal_into`.
+fn take_side_rows(
+    side: &mut SideBuffer,
+    p: usize,
+    memory: &MemoryTrackerHandle,
+) -> Result<Vec<VertexId>> {
+    let part = &mut side.partitions[p];
+    let mut rows = std::mem::take(&mut part.rows_in_memory);
+    side.buffered_bytes -= part.memory_bytes;
+    part.memory_bytes = 0;
+    if let Some(path) = part.spill_file.take() {
+        let from_disk = decode_rows(&std::fs::read(&path)?);
+        memory.allocate((from_disk.len() * std::mem::size_of::<VertexId>()) as u64);
         rows.extend(from_disk);
         let _ = std::fs::remove_file(&path);
+        part.spilled_values = 0;
     }
     Ok(rows)
 }
@@ -807,6 +1076,121 @@ mod tests {
         }
         assert_eq!(count, u64::from(n));
         drop(stream);
+        assert_eq!(tracker.current(), 0);
+    }
+
+    #[test]
+    fn spill_ship_reload_round_trip_is_bit_for_bit() {
+        // The same partition taken from a fully-spilled joiner and from an
+        // all-in-memory joiner must encode to identical bytes: the ship
+        // encoding *is* the spill encoding.
+        let n = 600u32;
+        let left: Vec<[u32; 2]> = (0..n).map(|i| [i, i + 10_000]).collect();
+        let right: Vec<[u32; 2]> = (0..n).map(|i| [i, i + 20_000]).collect();
+        let build = |threshold: u64| {
+            let mut joiner = HashJoiner::new(
+                simple_op(),
+                2,
+                2,
+                threshold,
+                spill_dir(),
+                MemoryTrackerHandle::Untracked,
+            );
+            joiner.add(JoinSide::Left, &batch2(&left)).unwrap();
+            joiner.add(JoinSide::Right, &batch2(&right)).unwrap();
+            joiner
+        };
+        let mut spilled = build(1024);
+        spilled.spill_to_disk().unwrap();
+        assert!(spilled.spilled());
+        let mut resident = build(1 << 20);
+        assert!(!resident.spilled());
+        let (p_spilled, l_spilled, r_spilled) = spilled
+            .take_unprobed_partition()
+            .unwrap()
+            .expect("spilled joiner has a shippable partition");
+        let (p_resident, l_resident, r_resident) = resident
+            .take_unprobed_partition()
+            .unwrap()
+            .expect("resident joiner has a shippable partition");
+        assert_eq!(p_spilled, p_resident);
+        assert_eq!(encode_rows(&l_spilled), encode_rows(&l_resident));
+        assert_eq!(encode_rows(&r_spilled), encode_rows(&r_resident));
+        // And the encoding round-trips exactly.
+        assert_eq!(decode_rows(&encode_rows(&l_spilled)), l_spilled);
+        assert_eq!(decode_rows(&encode_rows(&r_spilled)), r_spilled);
+    }
+
+    #[test]
+    fn shipped_partitions_join_to_the_same_rows_elsewhere() {
+        // Splitting a join between a shipper stream and an adopter stream
+        // produces exactly the rows of the unsplit join, and the memory
+        // charge that travels with the shipped partitions balances out.
+        let n = 800u32;
+        let left: Vec<[u32; 2]> = (0..n).map(|i| [i, i + 10_000]).collect();
+        let right: Vec<[u32; 2]> = (0..n).map(|i| [i, i + 20_000]).collect();
+        let tracker = std::sync::Arc::new(MemoryTracker::new());
+        let build = |tracked: bool| {
+            let mut joiner = HashJoiner::new(
+                simple_op(),
+                2,
+                2,
+                1 << 20,
+                spill_dir(),
+                if tracked {
+                    MemoryTrackerHandle::Tracked(std::sync::Arc::clone(&tracker))
+                } else {
+                    MemoryTrackerHandle::Untracked
+                },
+            );
+            joiner.add(JoinSide::Left, &batch2(&left)).unwrap();
+            joiner.add(JoinSide::Right, &batch2(&right)).unwrap();
+            joiner
+        };
+        let mut reference_rows: Vec<Vec<u32>> = Vec::new();
+        build(false)
+            .finish(128, |b| {
+                reference_rows.extend(b.to_rows().rows().map(|r| r.to_vec()))
+            })
+            .unwrap();
+
+        let mut shipper = build(true).into_stream(128);
+        // An "adopter" on the same tracker: an empty build of the same op.
+        let adopter_joiner = HashJoiner::new(
+            simple_op(),
+            2,
+            2,
+            1 << 20,
+            spill_dir(),
+            MemoryTrackerHandle::Tracked(std::sync::Arc::clone(&tracker)),
+        );
+        let mut adopter = adopter_joiner.into_stream(128);
+        let mut shipped = 0;
+        while let Some((p, l, r)) = shipper.take_unprobed_partition().unwrap() {
+            assert_eq!(shipper.partition_states()[p], PartitionState::Shipped);
+            // Ship through the wire encoding, as the router does.
+            let (wire_l, wire_r) = (encode_rows(&l), encode_rows(&r));
+            adopter.adopt_partition(decode_rows(&wire_l), decode_rows(&wire_r));
+            shipped += 1;
+            if shipped == 2 {
+                break;
+            }
+        }
+        assert_eq!(shipped, 2);
+        let mut split_rows: Vec<Vec<u32>> = Vec::new();
+        for stream in [&mut shipper, &mut adopter] {
+            while let Some(b) = stream.next_batch().unwrap() {
+                split_rows.extend(b.to_rows().rows().map(|r| r.to_vec()));
+            }
+            assert!(stream.is_exhausted());
+        }
+        reference_rows.sort();
+        split_rows.sort();
+        assert_eq!(split_rows, reference_rows);
+        drop(shipper);
+        drop(adopter);
+        // Charges transferred with the partitions and were released by the
+        // adopter's probes: the shared tracker balances to zero.
         assert_eq!(tracker.current(), 0);
     }
 

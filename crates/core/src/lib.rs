@@ -54,7 +54,7 @@ pub use cluster::HugeCluster;
 pub use config::{ClusterConfig, Fault, FaultSpec, LoadBalance, SinkMode};
 pub use exec::{BatchOperator, OpContext, OpPoll};
 pub use governor::{MemoryGovernor, PressureLevel};
-pub use report::{GovernorReport, MachineReport, RunReport};
+pub use report::{GovernorReport, JoinReport, MachineReport, RunReport};
 
 /// Errors surfaced by the engine.
 #[derive(Debug)]

@@ -14,15 +14,22 @@
 //! runnable segment while a straggler finishes — there is no per-segment
 //! barrier. When a machine has nothing to compute it *parks* on the router's
 //! notify handle instead of spinning.
+//!
+//! Join skew is handled by two mechanisms layered on the router's control
+//! plane: **cross-machine Grace partition stealing** (a machine that drained
+//! its own build requests sealed-but-unprobed partitions from busy peers;
+//! see [`MachineState::steal_join_once`]) and **speculative sealing**
+//! (per-source-machine EOS envelopes let a consumer seal and probe before
+//! the release counters drain; see [`ControlMsg::Eos`]).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use huge_cache::PullCache;
-use huge_comm::{ColBatch, MachineId, RouterEndpoint, RpcFabric};
-use huge_graph::GraphPartition;
+use huge_comm::{ColBatch, ControlMsg, MachineId, RouterEndpoint, RpcFabric};
+use huge_graph::{GraphPartition, VertexId};
 use huge_plan::translate::{Segment, SegmentSource};
 use huge_query::QueryVertex;
 use std::sync::Arc;
@@ -32,10 +39,10 @@ use crate::exec::{
     partition_cols_by_key, BatchOperator, OpContext, OpPoll, PullExtend, PushJoin, ScanSource,
 };
 use crate::governor::{MemoryGovernor, PressureLevel};
-use crate::join::{JoinSide, MemoryTrackerHandle};
+use crate::join::{decode_rows, encode_rows, JoinSide, MemoryTrackerHandle};
 use crate::memory::MemoryTracker;
 use crate::pool::WorkerPool;
-use crate::report::MachineReport;
+use crate::report::{JoinReport, MachineReport};
 use crate::scheduler::{RunShared, SegmentShared, SegmentState};
 use crate::{EngineError, Result};
 
@@ -125,6 +132,27 @@ struct SegmentChain {
     extends: Vec<PullExtend>,
 }
 
+/// The thief-side state of cross-machine Grace partition stealing for one
+/// join segment. The invariants the all-idle termination gate relies on:
+/// a machine never advertises idleness on a join segment while it has a
+/// request outstanding (`outstanding`) or an adopted partition waiting
+/// (`adopted`), and a victim answers *every* request with a ship or a nack,
+/// so `outstanding` always resolves.
+#[derive(Default)]
+struct JoinSteal {
+    /// A `StealRequest` is in flight and neither a ship nor a nack has
+    /// arrived yet.
+    outstanding: bool,
+    /// Bitmask of peers already asked (or observed idle) since the last
+    /// successful adoption. A nacking victim can never become shippable
+    /// again (join input is globally complete before any request is sent),
+    /// so the mask only resets when an adoption proves work still exists.
+    tried: u64,
+    /// Shipped partitions accepted but not yet attached to the local
+    /// `JoinStream`: `(left rows, right rows, charged bytes)`.
+    adopted: VecDeque<(Vec<VertexId>, Vec<VertexId>, u64)>,
+}
+
 /// The outcome of one stealing attempt on a draining segment.
 enum StealOutcome {
     /// Work was stolen and executed; try again.
@@ -184,6 +212,23 @@ pub struct MachineState {
     /// Routing table for inbound envelopes: producing segment id → (join
     /// segment id, side of the join it feeds).
     join_feeds: HashMap<usize, (usize, JoinSide)>,
+    /// Per-source end-of-stream evidence: producing segment id → bitmask of
+    /// machines that broadcast [`ControlMsg::Eos`] for it (the speculative
+    /// sealing gate).
+    eos_seen: HashMap<usize, u64>,
+    /// Steal requests received but not yet answered, per join segment.
+    steal_requests: HashMap<usize, VecDeque<MachineId>>,
+    /// Thief-side partition-stealing state, per join segment.
+    join_ctl: HashMap<usize, JoinSteal>,
+    /// Bytes of shipped partitions this machine still holds charged while
+    /// the thieves' acks are in flight (allocate-before-release: shipping
+    /// may transiently double-count rows cluster-wide, never undercount).
+    pending_ship_bytes: u64,
+    /// Skew-handling counters surfaced in the run report.
+    join_stats: JoinReport,
+    /// Join segments started on EOS evidence, awaiting the moment the
+    /// dependency counters also report ready (measures the seal lead).
+    spec_pending: HashMap<usize, Instant>,
 }
 
 impl MachineState {
@@ -224,6 +269,12 @@ impl MachineState {
             run_epoch: Instant::now(),
             pending_joins: HashMap::new(),
             join_feeds: HashMap::new(),
+            eos_seen: HashMap::new(),
+            steal_requests: HashMap::new(),
+            join_ctl: HashMap::new(),
+            pending_ship_bytes: 0,
+            join_stats: JoinReport::default(),
+            spec_pending: HashMap::new(),
         }
     }
 
@@ -237,6 +288,12 @@ impl MachineState {
         self.segment_spans = vec![None; plans.len()];
         self.pending_joins.clear();
         self.join_feeds.clear();
+        self.eos_seen.clear();
+        self.steal_requests.clear();
+        self.join_ctl.clear();
+        self.pending_ship_bytes = 0;
+        self.join_stats = JoinReport::default();
+        self.spec_pending.clear();
         for plan in plans {
             if let SegmentSource::Join(op) = &plan.segment.source {
                 let (left_arity, right_arity) = plan
@@ -274,6 +331,7 @@ impl MachineState {
             batches_stolen: self.batches_stolen,
             segment_busy: self.segment_busy.clone(),
             segment_spans: self.segment_spans.clone(),
+            join: self.join_stats.clone(),
         }
     }
 
@@ -321,6 +379,11 @@ impl MachineState {
     /// the consumer half of the streaming shuffle: it runs opportunistically
     /// during chain execution, while waiting for space on a full destination
     /// inbox, and whenever the dataflow scheduler has nothing runnable.
+    ///
+    /// Data envelopes are always drained *before* control envelopes: a
+    /// `StealRequest` implies the sender observed the join's input globally
+    /// complete, so servicing it after the data drain guarantees every row
+    /// of the requested partitions is already in the local build.
     fn absorb_inbox(&mut self) -> Result<()> {
         while let Some(env) = self.router.try_recv() {
             let &(join_id, side) = self.join_feeds.get(&env.segment).ok_or_else(|| {
@@ -337,7 +400,55 @@ impl MachineState {
             })?;
             join.push_side(side, &env.batch)?;
         }
+        while let Some(ctl) = self.router.try_recv_control() {
+            self.handle_control(ctl.from, ctl.msg);
+        }
         Ok(())
+    }
+
+    /// Routes one control envelope of the skew-handling protocol.
+    fn handle_control(&mut self, from: MachineId, msg: ControlMsg) {
+        match msg {
+            ControlMsg::Eos { segment } => {
+                *self.eos_seen.entry(segment).or_default() |= 1u64 << from;
+            }
+            ControlMsg::StealRequest { segment } => {
+                // Stash it; requests are answered from the points that own
+                // the join (pending build, active chain, or draining chain).
+                self.steal_requests
+                    .entry(segment)
+                    .or_default()
+                    .push_back(from);
+            }
+            ControlMsg::PartitionShip {
+                segment,
+                partition: _,
+                bytes,
+                left,
+                right,
+            } => {
+                // Allocate on the thief *before* acking (the victim releases
+                // only on the ack), preserving the steal-accounting parity.
+                self.memory.allocate(bytes);
+                let ctl = self.join_ctl.entry(segment).or_default();
+                ctl.outstanding = false;
+                ctl.adopted
+                    .push_back((decode_rows(&left), decode_rows(&right), bytes));
+                self.router
+                    .send_control(from, ControlMsg::ShipAck { segment, bytes });
+            }
+            ControlMsg::ShipNack { segment } => {
+                self.join_ctl.entry(segment).or_default().outstanding = false;
+            }
+            ControlMsg::ShipAck { segment: _, bytes } => {
+                // The thief owns the rows now; drop the charge we held.
+                self.memory.release(bytes);
+                self.pending_ship_bytes = self.pending_ship_bytes.saturating_sub(bytes);
+                self.join_stats.partitions_shipped += 1;
+                self.join_stats.shipped_bytes += bytes;
+                self.governor.record_shipped(self.machine, bytes);
+            }
+        }
     }
 
     /// Pushes one shuffle batch with backpressure: while the destination
@@ -381,18 +492,40 @@ impl MachineState {
     }
 
     /// Fires the configured chaos fault if it targets this machine/segment.
-    fn maybe_inject_fault(&self, segment: usize) {
-        if let Some(spec) = self.config.fault_injection {
-            if spec.machine == self.machine && spec.segment == segment {
-                match spec.fault {
-                    Fault::Delay(d) => std::thread::sleep(d),
-                    Fault::Panic => panic!(
-                        "injected fault: machine {} panics in segment {segment}",
-                        self.machine
-                    ),
+    ///
+    /// An injected `Delay` stalls this machine's *chain*, not its control
+    /// plane: the sleep is taken in short slices with the inbox absorbed and
+    /// queued steal requests answered in between — the way a real
+    /// straggler's runtime keeps servicing network traffic while its compute
+    /// lags. That responsiveness is what lets idle peers steal a stalled
+    /// machine's sealed Grace partitions *during* the stall instead of
+    /// queueing behind it.
+    fn maybe_inject_fault(&mut self, segment: usize) -> Result<()> {
+        let Some(spec) = self.config.fault_injection else {
+            return Ok(());
+        };
+        if spec.machine != self.machine || spec.segment != segment {
+            return Ok(());
+        }
+        match spec.fault {
+            Fault::Delay(total) => {
+                let deadline = Instant::now() + total;
+                loop {
+                    self.absorb_inbox()?;
+                    self.service_pending_join_steals()?;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2).min(deadline - now));
                 }
             }
+            Fault::Panic => panic!(
+                "injected fault: machine {} panics in segment {segment}",
+                self.machine
+            ),
         }
+        Ok(())
     }
 
     /// Records the first time this machine touches segment `idx`.
@@ -482,7 +615,46 @@ impl MachineState {
     /// nudges parked peers to re-check readiness: once every machine has
     /// released, the segment's shuffle output is complete and consuming
     /// joins may seal.
-    fn release_segment(&mut self, idx: usize, run: &RunShared) {
+    ///
+    /// For shuffle-producing segments an [`ControlMsg::Eos`] is broadcast
+    /// first (speculative sealing): every push of this segment has already
+    /// completed, so consumers holding EOS evidence from all `k` machines
+    /// may seal and probe *before* the release counter drains — the control
+    /// envelope races ahead of the counter because it is sent before the
+    /// `fetch_sub` and wakes the consumer directly.
+    fn release_segment(&mut self, idx: usize, plan: &SegmentPlan, run: &RunShared) {
+        self.broadcast_eos(plan);
+        self.release_counter(idx, run);
+    }
+
+    /// Broadcasts this machine's `ControlMsg::Eos` for a shuffle-producing
+    /// segment once every push of the segment has completed (own chain and
+    /// stolen work alike). Returns whether envelopes went out — the
+    /// pipelined scheduler then defers the counter settle one visit
+    /// ([`SegmentState::Releasing`]) so the EOS evidence genuinely races
+    /// ahead of the coarse counter gate.
+    fn broadcast_eos(&mut self, plan: &SegmentPlan) -> bool {
+        let k = self.router.num_machines();
+        if !(self.config.speculative_sealing
+            && k <= 64
+            && matches!(plan.terminal, Terminal::FeedJoin { .. }))
+        {
+            return false;
+        }
+        for m in 0..k {
+            self.router.send_control(
+                m,
+                ControlMsg::Eos {
+                    segment: plan.segment.id,
+                },
+            );
+        }
+        true
+    }
+
+    /// Settles this machine's slot on the segment's release counter and
+    /// nudges every parked peer to re-check readiness.
+    fn release_counter(&mut self, idx: usize, run: &RunShared) {
         run.segments[idx].remaining.fetch_sub(1, Ordering::SeqCst);
         for m in 0..self.router.num_machines() {
             self.router.wake(m);
@@ -511,6 +683,9 @@ impl MachineState {
         if result.is_err() {
             run.abort();
         }
+        // Balance the trackers if the run tore down with skew-protocol
+        // bytes in flight (unacked ships, unattached adoptions).
+        self.reclaim_skew_state();
         // Nudge parked peers so they re-check the abort flag and the
         // readiness counters promptly.
         for m in 0..self.router.num_machines() {
@@ -537,6 +712,10 @@ impl MachineState {
             }
             // Keep the streaming shuffle flowing whatever segment runs next.
             self.absorb_inbox()?;
+            // Answer thieves queued on joins this machine has not started,
+            // and settle the lead of any speculatively-started segment.
+            self.service_pending_join_steals()?;
+            self.settle_speculative_leads(plans, run);
             // Under Red pressure the DFS bias tightens into strict DFS:
             // *only* the deepest non-done segment may run, so the machine
             // drains partials towards the sink instead of starting shallower
@@ -551,27 +730,54 @@ impl MachineState {
                     SegmentState::Running => {
                         unreachable!("Running is transient within one scheduler visit")
                     }
+                    SegmentState::Releasing => {
+                        // The EOS envelopes went out at the end of the
+                        // previous visit; settle the coarse counter now.
+                        // Deeper consumers were visited first in this pass,
+                        // so one holding full EOS evidence has already
+                        // sealed and probed ahead of this settle — the
+                        // speculative lead the join report measures.
+                        self.release_counter(idx, run);
+                        states[idx] = SegmentState::Done;
+                        done += 1;
+                        progressed = true;
+                    }
                     SegmentState::NotStarted => {
-                        if !run.ready(&plan.segment.dependencies()) {
-                            continue;
+                        let counters_ready = run.ready(&plan.segment.dependencies());
+                        if !counters_ready {
+                            if !self.speculatively_ready(plan) {
+                                continue;
+                            }
+                            // Speculative seal: EOS evidence from every
+                            // machine proves the join's input is complete
+                            // even though the release counters still lag.
+                            self.spec_pending.insert(idx, Instant::now());
+                            self.join_stats.speculative_seals += 1;
                         }
                         states[idx] = SegmentState::Running;
                         let start = Instant::now();
                         self.note_segment_start(idx);
-                        self.maybe_inject_fault(idx);
+                        self.maybe_inject_fault(idx)?;
                         let mut chain = self.build_chain(plan, seg, sink)?;
                         self.run_chain(&mut chain, plan, seg, run, sink)?;
                         let drains = k > 1
                             && self.config.inter_machine_stealing
-                            && matches!(chain.source, ChainSource::Scan(_));
+                            && match chain.source {
+                                ChainSource::Scan(_) => true,
+                                ChainSource::Join(_) => self.config.partition_stealing && k <= 64,
+                            };
                         if drains {
                             states[idx] = SegmentState::Draining;
                             chains[idx] = Some(chain);
                         } else {
                             self.finish_chain(idx, &mut chain);
-                            self.release_segment(idx, run);
-                            states[idx] = SegmentState::Done;
-                            done += 1;
+                            if self.broadcast_eos(plan) {
+                                states[idx] = SegmentState::Releasing;
+                            } else {
+                                self.release_counter(idx, run);
+                                states[idx] = SegmentState::Done;
+                                done += 1;
+                            }
                         }
                         self.record_segment_busy(idx, start.elapsed());
                         progressed = true;
@@ -582,7 +788,15 @@ impl MachineState {
                             .take()
                             .expect("draining segments keep their chain");
                         let start = Instant::now();
-                        match self.steal_once(&mut chain, plan, seg, run, sink)? {
+                        let outcome = match chain.source {
+                            ChainSource::Scan(_) => {
+                                self.steal_once(&mut chain, plan, seg, run, sink)?
+                            }
+                            ChainSource::Join(_) => {
+                                self.steal_join_once(&mut chain, plan, seg, run, sink)?
+                            }
+                        };
+                        match outcome {
                             StealOutcome::Stole => {
                                 chains[idx] = Some(chain);
                                 self.record_segment_busy(idx, start.elapsed());
@@ -591,9 +805,13 @@ impl MachineState {
                             }
                             StealOutcome::AllIdle => {
                                 self.finish_chain(idx, &mut chain);
-                                self.release_segment(idx, run);
-                                states[idx] = SegmentState::Done;
-                                done += 1;
+                                if self.broadcast_eos(plan) {
+                                    states[idx] = SegmentState::Releasing;
+                                } else {
+                                    self.release_counter(idx, run);
+                                    states[idx] = SegmentState::Done;
+                                    done += 1;
+                                }
                                 self.record_segment_busy(idx, start.elapsed());
                                 progressed = true;
                                 break;
@@ -622,6 +840,17 @@ impl MachineState {
                 self.router.wait_data(PARK_TIMEOUT);
             }
         }
+        // Wait for thieves to ack in-flight partition ships so the charge
+        // held for them is released before the run tears down (the ack was
+        // sent the moment the thief absorbed the ship, so this drains fast).
+        while self.pending_ship_bytes > 0 && !run.is_aborted() {
+            self.absorb_inbox()?;
+            if self.pending_ship_bytes == 0 {
+                break;
+            }
+            self.router.wait_data(PARK_TIMEOUT);
+        }
+        self.finalize_speculative_leads();
         Ok(())
     }
 
@@ -650,7 +879,7 @@ impl MachineState {
             run.abort();
         }
         // Release our end-of-stream slot and nudge parked peers.
-        self.release_segment(idx, run);
+        self.release_segment(idx, plan, run);
         // Linger: keep absorbing the inbox until every machine is done with
         // this segment, so producers blocked on our bounded inbox always
         // drain. The machine parks on the router between sweeps.
@@ -681,7 +910,7 @@ impl MachineState {
     ) -> Result<()> {
         let start = Instant::now();
         self.note_segment_start(idx);
-        self.maybe_inject_fault(idx);
+        self.maybe_inject_fault(idx)?;
         let mut chain = self.build_chain(plan, seg, sink)?;
         self.run_chain(&mut chain, plan, seg, run, sink)?;
         if matches!(chain.source, ChainSource::Scan(_)) && self.config.inter_machine_stealing {
@@ -717,6 +946,15 @@ impl MachineState {
             // pushed at us into its pending joiner before scheduling.
             if self.router.has_data() {
                 self.absorb_inbox()?;
+            }
+            // Answer thieves without waiting for the chain to finish — both
+            // for the join this chain is probing and for joins still pending
+            // (a long probe must not starve an idle peer).
+            if !self.steal_requests.is_empty() {
+                if let ChainSource::Join(join) = &mut chain.source {
+                    self.service_active_join_steals(plan.segment.id, join)?;
+                }
+                self.service_pending_join_steals()?;
             }
             // Re-evaluate memory pressure every scheduling step; under Red
             // the chain's own sealed join (if any) spills its not-yet-probed
@@ -946,6 +1184,263 @@ impl MachineState {
                 }
             }
         }
+    }
+
+    // -----------------------------------------------------------------------
+    // Cross-machine Grace partition stealing and speculative sealing
+    // -----------------------------------------------------------------------
+
+    /// Pops the next unanswered steal request for `segment`, dropping the
+    /// stash entry once empty (so `steal_requests.is_empty()` stays a cheap
+    /// "nothing to service" guard on the hot paths).
+    fn pop_steal_request(&mut self, segment: usize) -> Option<MachineId> {
+        let queue = self.steal_requests.get_mut(&segment)?;
+        let thief = queue.pop_front();
+        if queue.is_empty() {
+            self.steal_requests.remove(&segment);
+        }
+        thief
+    }
+
+    /// Pops the next adopted-but-unattached partition for `segment`. A
+    /// successful adoption proves peers still had shippable work, so the
+    /// tried-peers mask resets.
+    fn pop_adopted(&mut self, segment: usize) -> Option<(Vec<VertexId>, Vec<VertexId>, u64)> {
+        let ctl = self.join_ctl.get_mut(&segment)?;
+        let part = ctl.adopted.pop_front()?;
+        ctl.tried = 0;
+        Some(part)
+    }
+
+    /// Ships one sealed partition to `thief` over the router's control
+    /// plane. The rows' tracker charge stays on this machine (recorded in
+    /// `pending_ship_bytes`) until the thief's [`ControlMsg::ShipAck`]
+    /// releases it — the same allocate-before-release hand-off as
+    /// [`SharedQueue::steal_into`](crate::scheduler::SharedQueue::steal_into).
+    fn ship_partition(
+        &mut self,
+        thief: MachineId,
+        segment: usize,
+        partition: usize,
+        left: Vec<VertexId>,
+        right: Vec<VertexId>,
+    ) {
+        let bytes = ((left.len() + right.len()) * std::mem::size_of::<VertexId>()) as u64;
+        self.pending_ship_bytes += bytes;
+        self.router.send_control(
+            thief,
+            ControlMsg::PartitionShip {
+                segment,
+                partition,
+                bytes,
+                left: encode_rows(&left),
+                right: encode_rows(&right),
+            },
+        );
+    }
+
+    /// Answers thieves queued on join segments this machine has *not
+    /// started yet* (the build still sits in `pending_joins`). Safe even
+    /// before the local seal: a request is only ever sent after the join's
+    /// input is globally complete, and [`MachineState::absorb_inbox`]
+    /// drained all data envelopes before stashing the request, so the
+    /// buffered partitions can no longer grow.
+    fn service_pending_join_steals(&mut self) -> Result<()> {
+        if self.steal_requests.is_empty() {
+            return Ok(());
+        }
+        let segments: Vec<usize> = self
+            .steal_requests
+            .keys()
+            .copied()
+            .filter(|s| self.pending_joins.contains_key(s))
+            .collect();
+        for segment in segments {
+            while let Some(thief) = self.pop_steal_request(segment) {
+                let taken = self
+                    .pending_joins
+                    .get_mut(&segment)
+                    .expect("filtered on pending joins")
+                    .take_unprobed_partition()?;
+                match taken {
+                    Some((p, left, right)) => self.ship_partition(thief, segment, p, left, right),
+                    None => self
+                        .router
+                        .send_control(thief, ControlMsg::ShipNack { segment }),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers thieves queued on the join segment whose chain this machine
+    /// is actively probing: sealed-but-unprobed partitions ship straight out
+    /// of the live [`JoinStream`](crate::join::JoinStream).
+    fn service_active_join_steals(&mut self, segment: usize, join: &mut PushJoin) -> Result<()> {
+        while let Some(thief) = self.pop_steal_request(segment) {
+            match join.take_unprobed_partition()? {
+                Some((p, left, right)) => self.ship_partition(thief, segment, p, left, right),
+                None => self
+                    .router
+                    .send_control(thief, ControlMsg::ShipNack { segment }),
+            }
+        }
+        Ok(())
+    }
+
+    /// One partition-stealing attempt on a *draining join segment*: adopt a
+    /// shipped partition and probe it, keep waiting on an outstanding
+    /// request, ask the next untried peer, or conclude that every machine is
+    /// idle. Mirrors [`MachineState::steal_once`], with `PartitionShip`
+    /// envelopes instead of shared-queue batches.
+    fn steal_join_once(
+        &mut self,
+        chain: &mut SegmentChain,
+        plan: &SegmentPlan,
+        seg: &SegmentShared,
+        run: &RunShared,
+        sink: SinkMode,
+    ) -> Result<StealOutcome> {
+        let k = seg.queues.len();
+        if k <= 1 {
+            return Ok(StealOutcome::AllIdle);
+        }
+        let segment = plan.segment.id;
+        // Our own probing exhausted the local partitions (that is what put
+        // the chain into Draining), so queued thieves always get a nack —
+        // never silence, which would wedge two draining machines on each
+        // other's answers.
+        while let Some(thief) = self.pop_steal_request(segment) {
+            self.router
+                .send_control(thief, ControlMsg::ShipNack { segment });
+        }
+        if let Some((left, right, bytes)) = self.pop_adopted(segment) {
+            // Adopted work in hand: stay visibly non-idle and probe the
+            // partition through the chain like a locally-built one.
+            seg.idle[self.machine].store(false, Ordering::SeqCst);
+            let attached = match &mut chain.source {
+                ChainSource::Join(join) => join.adopt_partition(left, right),
+                ChainSource::Scan(_) => false,
+            };
+            if !attached {
+                // No live stream to attach to; hand the charge back.
+                self.memory.release(bytes);
+                return Ok(StealOutcome::Pending);
+            }
+            self.join_stats.partitions_stolen += 1;
+            self.run_chain(chain, plan, seg, run, sink)?;
+            return Ok(StealOutcome::Stole);
+        }
+        if self
+            .join_ctl
+            .get(&segment)
+            .is_some_and(|ctl| ctl.outstanding)
+        {
+            // A victim owes us a ship or a nack; the idle flag stays down
+            // while the answer is in flight so the all-idle gate cannot
+            // fire under a ship.
+            return Ok(StealOutcome::Pending);
+        }
+        let target = {
+            let ctl = self.join_ctl.entry(segment).or_default();
+            let mut target = None;
+            for offset in 1..k {
+                let victim = (self.machine + offset) % k;
+                if ctl.tried & (1u64 << victim) != 0 {
+                    continue;
+                }
+                if seg.idle[victim].load(Ordering::SeqCst) {
+                    // A drained peer has nothing left to ship; skip the
+                    // round-trip. (Nacks are permanent for the same reason:
+                    // sealed partitions only ever get probed or shipped.)
+                    ctl.tried |= 1u64 << victim;
+                    continue;
+                }
+                ctl.tried |= 1u64 << victim;
+                target = Some(victim);
+                break;
+            }
+            target
+        };
+        if let Some(victim) = target {
+            // Drop the idle flag *before* the request leaves: a thief with
+            // an outstanding request must never look idle, or the segment
+            // could complete with a partition ship in flight.
+            seg.idle[self.machine].store(false, Ordering::SeqCst);
+            self.join_ctl
+                .get_mut(&segment)
+                .expect("entry created above")
+                .outstanding = true;
+            self.router
+                .send_control(victim, ControlMsg::StealRequest { segment });
+            return Ok(StealOutcome::Pending);
+        }
+        seg.idle[self.machine].store(true, Ordering::SeqCst);
+        if seg.idle.iter().all(|f| f.load(Ordering::SeqCst)) || run.is_aborted() {
+            return Ok(StealOutcome::AllIdle);
+        }
+        Ok(StealOutcome::Pending)
+    }
+
+    /// Speculative sealing gate: a join segment whose every dependency has
+    /// broadcast [`ControlMsg::Eos`] from all `k` machines can no longer
+    /// receive input, even while the release counters lag behind.
+    fn speculatively_ready(&self, plan: &SegmentPlan) -> bool {
+        let k = self.router.num_machines();
+        if !self.config.speculative_sealing
+            || k > 64
+            || !matches!(plan.segment.source, SegmentSource::Join(_))
+        {
+            return false;
+        }
+        plan.segment.dependencies().iter().all(|dep| {
+            self.eos_seen
+                .get(dep)
+                .is_some_and(|mask| mask.count_ones() as usize >= k)
+        })
+    }
+
+    /// Records the seal lead of speculatively-started segments the moment
+    /// the counter path catches up (how much earlier the EOS gate opened
+    /// than the readiness the counter-gated scheduler would have observed).
+    fn settle_speculative_leads(&mut self, plans: &[SegmentPlan], run: &RunShared) {
+        if self.spec_pending.is_empty() {
+            return;
+        }
+        let settled: Vec<usize> = self
+            .spec_pending
+            .keys()
+            .copied()
+            .filter(|&idx| run.ready(&plans[idx].segment.dependencies()))
+            .collect();
+        for idx in settled {
+            if let Some(started) = self.spec_pending.remove(&idx) {
+                self.join_stats.seal_lead = self.join_stats.seal_lead.max(started.elapsed());
+            }
+        }
+    }
+
+    /// Settles any speculative leads still open when the run ends (the
+    /// counters were never observed ready from this machine's loop).
+    fn finalize_speculative_leads(&mut self) {
+        for (_, started) in self.spec_pending.drain() {
+            self.join_stats.seal_lead = self.join_stats.seal_lead.max(started.elapsed());
+        }
+    }
+
+    /// Releases any skew-protocol bytes still charged when a run tears down
+    /// (aborted with ships or adoptions in flight) so the trackers balance.
+    fn reclaim_skew_state(&mut self) {
+        for ctl in self.join_ctl.values_mut() {
+            for (_, _, bytes) in ctl.adopted.drain(..) {
+                self.memory.release(bytes);
+            }
+        }
+        if self.pending_ship_bytes > 0 {
+            self.memory.release(self.pending_ship_bytes);
+            self.pending_ship_bytes = 0;
+        }
+        self.steal_requests.clear();
     }
 }
 

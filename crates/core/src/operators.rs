@@ -442,6 +442,64 @@ fn flush_tally(ctx: &OpContext<'_>, tally: &KernelTally) {
     }
 }
 
+/// How the non-hub half of the kernel dispatch is resolved.
+///
+/// The hub class needs no choice — an indexed hub always dispatches to the
+/// bitmap kernel. The list class either re-runs [`kernels::select_kernel`]
+/// per intersection call (the row-major paths) or uses one kernel picked up
+/// front for the whole batch (the columnar paths, via
+/// [`plan_batch_kernel`]), hoisting the dispatch out of the per-candidate
+/// loop.
+#[derive(Clone, Copy)]
+enum ListKernel {
+    /// Cardinality comparison per intersection call.
+    Adaptive,
+    /// One pre-selected kernel for every non-hub step of the batch.
+    Fixed(KernelKind),
+}
+
+/// Picks the list kernel once per batch for the columnar paths.
+///
+/// Samples the degree spread of the extend columns (smallest vs. largest
+/// degree per row — the shape every intersection step of that row sees) and
+/// runs the per-call selection rule on the sampled means. Hub vertices are
+/// excluded: they dispatch to the bitmap kernel regardless of what is
+/// chosen here. Any outcome is correct on any row; the pick only decides
+/// which kernel the batch's non-hub steps run without re-deriving it per
+/// candidate.
+fn plan_batch_kernel(op: &ExtendOp, input: &ColBatch, ctx: &OpContext<'_>) -> KernelKind {
+    const SAMPLE: usize = 128;
+    let rows = input.len();
+    if rows == 0 || op.ext_positions.len() < 2 {
+        // Single-list extensions never intersect; nothing to pick.
+        return KernelKind::Merge;
+    }
+    let step = rows.div_ceil(SAMPLE).max(1);
+    let (mut small_sum, mut large_sum, mut sampled) = (0usize, 0usize, 0usize);
+    for i in (0..rows).step_by(step) {
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for &pos in &op.ext_positions {
+            let v = input.value(pos, i);
+            if ctx.partition.hub_bitmap(v).is_some() {
+                continue;
+            }
+            let d = ctx.partition.degree(v);
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        if lo != usize::MAX {
+            small_sum += lo;
+            large_sum += hi;
+            sampled += 1;
+        }
+    }
+    if sampled == 0 {
+        // Every sampled vertex is an indexed hub; the list kernel is moot.
+        return KernelKind::Merge;
+    }
+    kernels::select_kernel(small_sum / sampled, large_sum / sampled, false)
+}
+
 /// Intersects the adjacency lists of `exts` (already sorted smallest-degree
 /// first) into `scratch`, dispatching every step through the adaptive
 /// kernel family: hub bitmaps for indexed high-degree vertices, galloping
@@ -453,6 +511,7 @@ fn intersect_ext_lists(
     batch_table: &HashMap<VertexId, Vec<VertexId>>,
     scratch: &mut Vec<VertexId>,
     tally: &mut KernelTally,
+    list: ListKernel,
 ) {
     scratch.clear();
     let mut first = true;
@@ -474,9 +533,16 @@ fn intersect_ext_lists(
             tally.bump(KernelKind::Bitmap);
             continue;
         }
-        match with_neighbours(ctx, batch_table, v, |nbrs| {
-            kernels::intersect_in_place(scratch, nbrs)
-        }) {
+        let used = match list {
+            ListKernel::Adaptive => with_neighbours(ctx, batch_table, v, |nbrs| {
+                kernels::intersect_in_place(scratch, nbrs)
+            }),
+            ListKernel::Fixed(kind) => with_neighbours(ctx, batch_table, v, |nbrs| {
+                kernels::intersect_in_place_with(scratch, nbrs, kind);
+                kind
+            }),
+        };
+        match used {
             Some(kind) => tally.bump(kind),
             None => scratch.clear(),
         }
@@ -488,6 +554,7 @@ fn intersect_ext_lists(
 /// ordered smallest-degree first — degree is metadata every machine reads
 /// for free — so the accumulator starts minimal and skew is maximal, which
 /// is what lets the galloping and bitmap branches win.
+#[allow(clippy::too_many_arguments)]
 fn gather_candidates(
     op: &ExtendOp,
     row: &[VertexId],
@@ -496,11 +563,12 @@ fn gather_candidates(
     exts: &mut Vec<VertexId>,
     scratch: &mut Vec<VertexId>,
     tally: &mut KernelTally,
+    list: ListKernel,
 ) {
     exts.clear();
     exts.extend(op.ext_positions.iter().map(|&p| row[p]));
     exts.sort_unstable_by_key(|&v| ctx.partition.degree(v));
-    intersect_ext_lists(exts, ctx, batch_table, scratch, tally);
+    intersect_ext_lists(exts, ctx, batch_table, scratch, tally, list);
 }
 
 /// Injectivity plus order filters for one candidate against the *output*
@@ -566,7 +634,16 @@ fn extend_one_row(
     }
 
     // Match mode: multiway intersection of the neighbourhoods (Equation 2).
-    gather_candidates(op, row, ctx, batch_table, exts, scratch, tally);
+    gather_candidates(
+        op,
+        row,
+        ctx,
+        batch_table,
+        exts,
+        scratch,
+        tally,
+        ListKernel::Adaptive,
+    );
     for &candidate in scratch.iter() {
         if candidate_passes(op, row, candidate) {
             sink.emit_extended(row, candidate);
@@ -661,7 +738,10 @@ pub fn run_extend_cols(op: &ExtendOp, input: ColBatch, ctx: &OpContext<'_>) -> E
     }
 
     // Match mode: workers emit (logical row, candidate) pairs; the output
-    // columns are then assembled column-at-a-time.
+    // columns are then assembled column-at-a-time. The list kernel is
+    // picked once for the whole batch — the per-candidate loop below runs
+    // dispatch-free.
+    let list = ListKernel::Fixed(plan_batch_kernel(op, input_ref, ctx));
     let run = ctx
         .pool
         .run(ranges, |(start, end), out: &mut Vec<VertexId>| {
@@ -680,6 +760,7 @@ pub fn run_extend_cols(op: &ExtendOp, input: ColBatch, ctx: &OpContext<'_>) -> E
                     &mut exts,
                     &mut scratch,
                     &mut tally,
+                    list,
                 );
                 for &candidate in scratch.iter() {
                     if candidate_passes(op, &row, candidate) {
@@ -733,6 +814,7 @@ pub fn run_extend_count_cols(
     let (batch_table, fetch_time) = fetch_stage_cols(op, input, ctx);
     let ranges = intersect_ranges(input.len(), ctx);
     let batch_table = &batch_table;
+    let list = ListKernel::Fixed(plan_batch_kernel(op, input, ctx));
     let run = ctx.pool.run(ranges, |(start, end), out: &mut Vec<u64>| {
         let mut row: Vec<VertexId> = Vec::new();
         let mut exts: Vec<VertexId> = Vec::new();
@@ -750,6 +832,7 @@ pub fn run_extend_count_cols(
                 &mut exts,
                 &mut scratch,
                 &mut tally,
+                list,
             );
         }
         flush_tally(ctx, &tally);
@@ -766,6 +849,7 @@ pub fn run_extend_count_cols(
 }
 
 /// Counts the extensions of one row via the kernel count twins.
+#[allow(clippy::too_many_arguments)]
 fn count_one_row(
     op: &ExtendOp,
     row: &[VertexId],
@@ -774,6 +858,7 @@ fn count_one_row(
     exts: &mut Vec<VertexId>,
     scratch: &mut Vec<VertexId>,
     tally: &mut KernelTally,
+    list: ListKernel,
 ) -> u64 {
     if let Some(vpos) = op.verify_position {
         return verify_one_row(op, vpos, row, ctx, batch_table) as u64;
@@ -817,7 +902,7 @@ fn count_one_row(
     let (&last, rest) = exts.split_last().expect("extend needs positions");
 
     // Materialise every list except the largest.
-    intersect_ext_lists(rest, ctx, batch_table, scratch, tally);
+    intersect_ext_lists(rest, ctx, batch_table, scratch, tally, list);
     let single = rest.is_empty();
     if !single && scratch.is_empty() {
         return 0;
@@ -849,7 +934,10 @@ fn count_one_row(
             count
         } else {
             let s = range_slice(scratch, lo, hi);
-            let (mut count, kind) = kernels::intersect_count_adaptive(s, nb);
+            let (mut count, kind) = match list {
+                ListKernel::Adaptive => kernels::intersect_count_adaptive(s, nb),
+                ListKernel::Fixed(kind) => (kernels::intersect_count_with(s, nb, kind), kind),
+            };
             tally.bump(kind);
             for (idx, &r) in row.iter().enumerate() {
                 if distinct(idx)
@@ -1112,6 +1200,43 @@ mod tests {
         assert_eq!(out.batch.selection(), Some(&[0, 2][..]));
         assert_eq!(out.batch.value(0, 1), 3);
         assert_eq!(out.batch.to_rows().row(0), &[0, 1]);
+    }
+
+    #[test]
+    fn batch_kernel_plan_reflects_degree_spread() {
+        let ext = ExtendOp {
+            target: 2,
+            ext_positions: vec![0, 1],
+            verify_position: None,
+            filters: vec![],
+            comm: CommMode::Pulling,
+        };
+
+        // Balanced degrees (K8: every vertex has degree 7) → merge.
+        let (parts, rpc) = setup(1);
+        let cache = huge_cache::LrbuCache::new(1 << 20);
+        let pool = WorkerPool::new(1, crate::config::LoadBalance::WorkStealing);
+        let c = ctx(0, &parts, &rpc, &cache, &pool);
+        let mut balanced = ColBatch::new(2);
+        balanced.push_row(&[0, 1]);
+        assert_eq!(plan_batch_kernel(&ext, &balanced, &c), KernelKind::Merge);
+
+        // Empty batches and single-list extensions have nothing to pick.
+        let empty = ColBatch::new(2);
+        assert_eq!(plan_batch_kernel(&ext, &empty, &c), KernelKind::Merge);
+
+        // ≥ GALLOP_RATIO× degree spread between the extend columns → gallop.
+        let mut edges: Vec<(VertexId, VertexId)> = (1..=512u32).map(|v| (0, v)).collect();
+        edges.push((1, 2));
+        edges.push((1, 3));
+        let g = huge_graph::Graph::from_edges(edges);
+        let parts = Partitioner::new(1).unwrap().partition(g);
+        let stats = ClusterStats::new(1);
+        let rpc = RpcFabric::new(Arc::new(parts.clone()), stats);
+        let c = ctx(0, &parts, &rpc, &cache, &pool);
+        let mut skewed = ColBatch::new(2);
+        skewed.push_row(&[1, 0]); // degree 3 vs. degree 512
+        assert_eq!(plan_batch_kernel(&ext, &skewed, &c), KernelKind::Gallop);
     }
 
     #[test]

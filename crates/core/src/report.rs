@@ -32,6 +32,40 @@ pub struct MachineReport {
     /// precede another segment's end on any machine; under the pipelined
     /// scheduler the spans of different segments overlap.
     pub segment_spans: Vec<Option<(Duration, Duration)>>,
+    /// What this machine's joins did under skew (partition stealing and
+    /// speculative sealing).
+    pub join: JoinReport,
+}
+
+/// What the skew-handling join machinery did during a run: cross-machine
+/// Grace partition stealing (ship/ack protocol over the router's control
+/// plane) and speculative sealing (per-source EOS envelopes letting a
+/// consumer start probing before the segment counters report readiness).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JoinReport {
+    /// Sealed partitions this machine shipped to thieves.
+    pub partitions_shipped: u64,
+    /// Partitions this machine adopted from victims and probed locally.
+    pub partitions_stolen: u64,
+    /// Row payload bytes that crossed the wire in `PartitionShip` envelopes.
+    pub shipped_bytes: u64,
+    /// Join segments this machine started on EOS evidence before the
+    /// dependency counters reported ready.
+    pub speculative_seals: u64,
+    /// Largest lead a speculative seal gained over counter readiness.
+    pub seal_lead: Duration,
+}
+
+impl JoinReport {
+    /// Folds another machine's join counters into this one (sums the
+    /// counters, keeps the largest seal lead).
+    pub fn merge(&mut self, other: &JoinReport) {
+        self.partitions_shipped += other.partitions_shipped;
+        self.partitions_stolen += other.partitions_stolen;
+        self.shipped_bytes += other.shipped_bytes;
+        self.speculative_seals += other.speculative_seals;
+        self.seal_lead = self.seal_lead.max(other.seal_lead);
+    }
 }
 
 /// What the memory governor did during a governed run (present only when
@@ -51,6 +85,10 @@ pub struct GovernorReport {
     pub throttled_batches: u64,
     /// `PUSH-JOIN` buffer bytes flushed to disk by the spill actuator.
     pub spilled_bytes: u64,
+    /// Sealed Grace partition bytes shipped to thieves while governed (the
+    /// victim's charge is held until the thief's ack, so shipping moves
+    /// pressure rather than hiding it).
+    pub shipped_bytes: u64,
     /// The run's peak tracked bytes (max over machines) — the number the
     /// budget is judged against.
     pub peak_bytes: u64,
@@ -111,6 +149,9 @@ pub struct RunReport {
     pub machine_threads_spawned: usize,
     /// What the memory governor did (`None` for ungoverned runs).
     pub governor: Option<GovernorReport>,
+    /// Aggregated skew-handling join counters (sums over machines; the seal
+    /// lead is the max).
+    pub join: JoinReport,
     /// Per-machine breakdowns.
     pub machines: Vec<MachineReport>,
 }
@@ -289,6 +330,7 @@ mod tests {
             transitions_to_red: 2,
             throttled_batches: 10,
             spilled_bytes: 512,
+            shipped_bytes: 256,
             peak_bytes: 900,
         };
         assert_eq!(report.transitions(), 5);
@@ -300,6 +342,29 @@ mod tests {
         };
         assert!(over.over_budget());
         assert_eq!(over.headroom_bytes(), -200);
+    }
+
+    #[test]
+    fn join_report_merge_sums_counters_and_keeps_max_lead() {
+        let mut total = JoinReport {
+            partitions_shipped: 1,
+            partitions_stolen: 0,
+            shipped_bytes: 100,
+            speculative_seals: 1,
+            seal_lead: Duration::from_millis(3),
+        };
+        total.merge(&JoinReport {
+            partitions_shipped: 0,
+            partitions_stolen: 2,
+            shipped_bytes: 50,
+            speculative_seals: 1,
+            seal_lead: Duration::from_millis(8),
+        });
+        assert_eq!(total.partitions_shipped, 1);
+        assert_eq!(total.partitions_stolen, 2);
+        assert_eq!(total.shipped_bytes, 150);
+        assert_eq!(total.speculative_seals, 2);
+        assert_eq!(total.seal_lead, Duration::from_millis(8));
     }
 
     #[test]

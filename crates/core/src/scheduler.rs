@@ -239,19 +239,34 @@ pub struct SegmentShared {
 
 impl SegmentShared {
     /// `true` once the segment is at end-of-stream: every machine has
-    /// finished it, or — for stealable (scan) segments — every machine is
-    /// *idle* on it. The idle clause matters for liveness: a machine goes
-    /// idle the moment its own work is drained and nothing is stealable, but
-    /// it releases its `remaining` slot lazily (on its next scheduler
-    /// visit). Once all machines are idle simultaneously no chain can run
-    /// and no envelope can still be produced (work for a segment only comes
-    /// from stealing existing work, and there is none), so consumers may
-    /// treat the shuffle as complete even while a straggler is busy inside
-    /// another segment. Join segments and no-stealing configurations never
+    /// finished it, or — for stealable segments — every machine is *idle*
+    /// on it. The idle clause matters for liveness: a machine goes idle the
+    /// moment its own work is drained and nothing is stealable, but it
+    /// releases its `remaining` slot lazily (on its next scheduler visit).
+    /// Once all machines are idle simultaneously no chain can run and no
+    /// envelope can still be produced (work for a segment only comes from
+    /// stealing existing work, and there is none), so consumers may treat
+    /// the shuffle as complete even while a straggler is busy inside another
+    /// segment. Scan segments steal scan chunks and queued batches; join
+    /// segments steal sealed Grace partitions over the router's control
+    /// plane (`huge_comm::ControlMsg`), and their idle protocol additionally
+    /// guarantees no machine advertises idleness while a `PartitionShip` it
+    /// solicited could still be in flight. No-stealing configurations never
     /// set idle flags and rely on `remaining` alone.
     pub fn is_done(&self) -> bool {
         self.remaining.load(Ordering::SeqCst) == 0
             || (self.idle.len() > 1 && self.idle.iter().all(|f| f.load(Ordering::SeqCst)))
+    }
+
+    /// `true` once every machine has settled its `remaining` slot — the
+    /// *coarse* end-of-stream gate. Unlike [`SegmentShared::is_done`] this
+    /// never consults the idle flags: a machine's slot settles one scheduler
+    /// visit *after* it broadcast its `ControlMsg::Eos` envelopes, which is
+    /// exactly the gap speculative sealing exploits (a consumer holding EOS
+    /// evidence from all `k` machines seals and probes before the counters
+    /// drain).
+    pub fn released(&self) -> bool {
+        self.remaining.load(Ordering::SeqCst) == 0
     }
 }
 
@@ -288,11 +303,16 @@ impl RunShared {
         self.aborted.load(Ordering::SeqCst)
     }
 
-    /// The readiness policy: a segment may start once every dependency has
-    /// been finished by every machine (scan segments have no dependencies and
-    /// are always ready).
+    /// The counter readiness policy: a segment may start once every
+    /// dependency's release counter has drained — every machine settled its
+    /// slot (scan segments have no dependencies and are always ready). This
+    /// is deliberately the *slow*, coarse gate: machines announce push
+    /// completeness earlier through per-source `ControlMsg::Eos` envelopes
+    /// on the router's control plane, and consumers with speculative
+    /// sealing enabled act on that evidence without waiting for the
+    /// counters (`MachineState::speculatively_ready`).
     pub fn ready(&self, dependencies: &[usize]) -> bool {
-        dependencies.iter().all(|&d| self.segments[d].is_done())
+        dependencies.iter().all(|&d| self.segments[d].released())
     }
 }
 
@@ -306,6 +326,11 @@ pub enum SegmentState {
     /// Own work done; the machine revisits the segment to steal from peers
     /// until every machine is idle on it.
     Draining,
+    /// All work done and the EOS envelopes broadcast; the `remaining` slot
+    /// settles on the next scheduler visit. Consumers holding EOS evidence
+    /// from every machine seal and probe inside this gap (speculative
+    /// sealing) — counter-gated consumers wait it out.
+    Releasing,
     /// Finished on this machine (its `remaining` slot has been released).
     Done,
 }
@@ -419,7 +444,7 @@ mod tests {
         let seg = |remaining: usize| SegmentShared {
             scan_pools: vec![ScanPool::empty()],
             queues: vec![Arc::new(SegmentQueues::new(1, 10, None))],
-            idle: vec![AtomicBool::new(false)],
+            idle: vec![AtomicBool::new(false), AtomicBool::new(false)],
             remaining: AtomicUsize::new(remaining),
         };
         let run = RunShared::new(vec![seg(0), seg(2), seg(2)]);
@@ -428,8 +453,16 @@ mod tests {
         // A join is ready only once every producer is globally done.
         assert!(run.ready(&[0]));
         assert!(!run.ready(&[0, 1]));
+        // Idle flags feed `is_done` (drain-dance termination), never the
+        // counter gate — EOS envelopes, not shared flags, are the fast path.
+        run.segments[1].idle[0].store(true, Ordering::SeqCst);
+        run.segments[1].idle[1].store(true, Ordering::SeqCst);
+        assert!(run.segments[1].is_done(), "all-idle ends the drain dance");
+        assert!(!run.ready(&[0, 1]));
+        assert!(!run.segments[1].released());
         run.segments[1].remaining.store(0, Ordering::SeqCst);
         assert!(run.ready(&[0, 1]));
+        assert!(run.segments[1].released());
         assert!(!run.is_aborted());
         run.abort();
         assert!(run.is_aborted());

@@ -322,6 +322,21 @@ pub fn intersect_count_bitmap(query: &[VertexId], hub: &HubBitmap) -> u64 {
 /// the operator layer's multiway extension loop.
 pub fn intersect_in_place(acc: &mut Vec<VertexId>, other: &[VertexId]) -> KernelKind {
     let kind = select_kernel(acc.len(), other.len(), false);
+    intersect_in_place_with(acc, other, kind);
+    kind
+}
+
+/// Dispatch-free twin of [`intersect_in_place`]: runs a *pre-selected*
+/// kernel instead of calling [`select_kernel`] per invocation.
+///
+/// Callers that process whole batches (the columnar `PULL-EXTEND`) pick the
+/// kernel once per batch and hub class and hand it down here, hoisting the
+/// cardinality comparison out of the per-candidate loop. Any `kind` is
+/// correct on any input — the choice only affects speed. `Bitmap` has no
+/// bitmap operand in list form and falls back to the merge loop; `Gallop`
+/// still branches on which side is smaller (the accumulator shrinks as the
+/// multiway intersection proceeds, so the galloped side can flip mid-batch).
+pub fn intersect_in_place_with(acc: &mut Vec<VertexId>, other: &[VertexId], kind: KernelKind) {
     let mut w = 0usize;
     match kind {
         KernelKind::Merge | KernelKind::Bitmap => {
@@ -371,20 +386,28 @@ pub fn intersect_in_place(acc: &mut Vec<VertexId>, other: &[VertexId]) -> Kernel
         }
     }
     acc.truncate(w);
-    kind
+}
+
+/// Dispatch-free count twin: counts `|a ∩ b|` with a pre-selected kernel.
+///
+/// Orders the operands internally for the galloping twin; `Bitmap` falls
+/// back to the merge twin (use [`intersect_count_bitmap`] when the actual
+/// bitmap is at hand). Like [`intersect_in_place_with`], any `kind` is
+/// correct on any input.
+pub fn intersect_count_with(a: &[VertexId], b: &[VertexId], kind: KernelKind) -> u64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    match kind {
+        KernelKind::Gallop => intersect_count_gallop(small, large),
+        _ => intersect_count_merge(small, large),
+    }
 }
 
 /// Counts `|a ∩ b|`, dispatching between the merge and galloping count
 /// twins on skew (use [`intersect_count_bitmap`] directly when a hub bitmap
 /// is cached). Returns the count and the kernel used.
 pub fn intersect_count_adaptive(a: &[VertexId], b: &[VertexId]) -> (u64, KernelKind) {
-    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let kind = select_kernel(small.len(), large.len(), false);
-    let n = match kind {
-        KernelKind::Gallop => intersect_count_gallop(small, large),
-        _ => intersect_count_merge(small, large),
-    };
-    (n, kind)
+    let kind = select_kernel(a.len(), b.len(), false);
+    (intersect_count_with(a, b, kind), kind)
 }
 
 // ---------------------------------------------------------------------------
@@ -556,6 +579,32 @@ mod tests {
         let want = intersect_sorted(&acc, &other);
         assert_eq!(intersect_in_place(&mut acc, &other), KernelKind::Gallop);
         assert_eq!(acc, want);
+    }
+
+    #[test]
+    fn fixed_kind_variants_match_adaptive_on_every_kind() {
+        // Any pre-selected kind must produce the same set/count as the
+        // adaptive dispatcher — the batch-level hoist relies on this.
+        let shapes = [
+            (strided(64, 3, 0), strided(64, 2, 0)),   // balanced
+            (strided(8, 50, 0), strided(1024, 5, 0)), // small acc, large list
+            (strided(1024, 5, 0), strided(8, 50, 0)), // large acc, small list
+            (Vec::new(), strided(16, 2, 0)),          // empty acc
+            (strided(16, 2, 0), Vec::new()),          // empty list
+        ];
+        for (acc0, other) in &shapes {
+            let want = intersect_sorted(acc0, other);
+            for kind in [KernelKind::Merge, KernelKind::Gallop, KernelKind::Bitmap] {
+                let mut acc = acc0.clone();
+                intersect_in_place_with(&mut acc, other, kind);
+                assert_eq!(acc, want, "in-place {kind:?}");
+                assert_eq!(
+                    intersect_count_with(acc0, other, kind),
+                    want.len() as u64,
+                    "count {kind:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -434,6 +434,178 @@ fn panicking_machine_aborts_the_whole_pipelined_run() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Skew-proof joins: Grace partition stealing + speculative sealing
+// ---------------------------------------------------------------------------
+
+/// A sparse ring base with a K_{2,m} gadget implanted on two fresh hub
+/// vertices: the `m` gadget squares all join through the single Grace
+/// partition the (hub, hub) key pair hashes into, so one machine's join
+/// build is massively hotter than the other's.
+fn hot_partition_graph(m: u32) -> Graph {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for v in 0..120u32 {
+        edges.push((v, (v + 1) % 120));
+        edges.push((v, (v + 7) % 120));
+    }
+    let (u, w) = (200u32, 201u32);
+    for i in 0..m {
+        edges.push((u, 300 + i));
+        edges.push((w, 300 + i));
+    }
+    Graph::from_edges(edges)
+}
+
+#[test]
+fn delayed_join_segment_ships_partitions_to_the_finished_machine() {
+    // Machine 1 sleeps before probing its join partitions; machine 0
+    // finishes its own probe, drains, and must pull sealed-but-unprobed
+    // partitions out of the sleeping victim through the router's control
+    // plane. Every shipped partition must be adopted exactly once.
+    let graph = hot_partition_graph(48);
+    let query = Pattern::Square.query_graph();
+    let expected = naive::enumerate(&graph, &query);
+
+    // The root join is the deepest (= last) segment of the plan.
+    let probe = HugeCluster::build(graph.clone(), ClusterConfig::new(2).workers(1)).unwrap();
+    let (_, segments) = join_plan(&probe, &query);
+    let join_segment = segments - 1;
+
+    let config = ClusterConfig::new(2).workers(1).inject_fault(
+        1,
+        join_segment,
+        Fault::Delay(Duration::from_millis(300)),
+    );
+    let cluster = HugeCluster::build(graph.clone(), config).unwrap();
+    let (plan, _) = join_plan(&cluster, &query);
+    let report = cluster.run_with_plan(&plan, SinkMode::Count).unwrap();
+    assert_eq!(report.matches, expected);
+    assert!(
+        report.join.partitions_stolen > 0,
+        "the drained machine never stole a partition: {:?}",
+        report.join
+    );
+    assert_eq!(
+        report.join.partitions_shipped, report.join.partitions_stolen,
+        "every shipped partition must be adopted exactly once"
+    );
+    assert!(report.join.shipped_bytes > 0);
+
+    // The same straggler with stealing disabled: parity must survive, but
+    // no partition may move.
+    let config = ClusterConfig::new(2)
+        .workers(1)
+        .partition_stealing(false)
+        .inject_fault(1, join_segment, Fault::Delay(Duration::from_millis(300)));
+    let cluster = HugeCluster::build(graph, config).unwrap();
+    let (plan, _) = join_plan(&cluster, &query);
+    let report = cluster.run_with_plan(&plan, SinkMode::Count).unwrap();
+    assert_eq!(report.matches, expected);
+    assert_eq!(report.join.partitions_stolen, 0);
+    assert_eq!(report.join.partitions_shipped, 0);
+}
+
+#[test]
+fn all_engines_agree_on_the_hot_partition_graph_with_stealing_forced_on() {
+    let graph = hot_partition_graph(64);
+    let query = Pattern::Square.query_graph();
+    let expected = naive::enumerate(&graph, &query);
+    let config = ClusterConfig::new(2).workers(1).partition_stealing(true);
+    let cluster = HugeCluster::build(graph.clone(), config.clone()).unwrap();
+    let (plan, _) = join_plan(&cluster, &query);
+    let huge = cluster.run_with_plan(&plan, SinkMode::Count).unwrap();
+    assert_eq!(huge.matches, expected, "HUGE on the hot-partition graph");
+    for baseline in Baseline::ALL {
+        let report = baseline.run(&graph, &query, &config).unwrap();
+        assert_eq!(
+            report.matches,
+            expected,
+            "{} disagrees on the hot-partition graph",
+            baseline.name()
+        );
+    }
+}
+
+#[test]
+fn speculative_sealing_probes_before_late_counters_settle() {
+    // Delay a straggler's first scan segment: the per-source EOS envelopes
+    // go out before the coarse `remaining` slots settle, so the machine
+    // holding full EOS evidence seals its join and probes ahead of the
+    // counter gate — the lead the join report measures.
+    let graph = gen::erdos_renyi(120, 500, 23);
+    let query = Pattern::Path(4).query_graph();
+    let expected = naive::enumerate(&graph, &query);
+    let config = ClusterConfig::new(2).workers(1).inject_fault(
+        1,
+        0,
+        Fault::Delay(Duration::from_millis(100)),
+    );
+    let cluster = HugeCluster::build(graph.clone(), config).unwrap();
+    let (plan, _) = join_plan(&cluster, &query);
+    let report = cluster.run_with_plan(&plan, SinkMode::Count).unwrap();
+    assert_eq!(report.matches, expected);
+    assert!(
+        report.join.speculative_seals > 0,
+        "no seal beat the counter gate: {:?}",
+        report.join
+    );
+    assert!(report.join.seal_lead > Duration::ZERO);
+
+    // With speculative sealing off, every seal waits for the counters.
+    let config = ClusterConfig::new(2)
+        .workers(1)
+        .speculative_sealing(false)
+        .inject_fault(1, 0, Fault::Delay(Duration::from_millis(100)));
+    let cluster = HugeCluster::build(graph, config).unwrap();
+    let (plan, _) = join_plan(&cluster, &query);
+    let report = cluster.run_with_plan(&plan, SinkMode::Count).unwrap();
+    assert_eq!(report.matches, expected);
+    assert_eq!(report.join.speculative_seals, 0);
+    assert_eq!(report.join.seal_lead, Duration::ZERO);
+}
+
+#[test]
+fn ship_hand_off_conserves_cluster_wide_memory_accounting() {
+    // The PartitionShip protocol keeps the victim charged for a shipped
+    // partition until the thief's ShipAck arrives, and the thief allocates
+    // before acking: cluster-wide accounting may transiently double-count
+    // the one partition in flight but must never undercount, and must be
+    // exact once the hand-offs quiesce.
+    const PARTITIONS: u64 = 64;
+    const BYTES: u64 = 1_024;
+    let victim = Arc::new(MemoryTracker::new());
+    let thief = Arc::new(MemoryTracker::new());
+    victim.allocate(PARTITIONS * BYTES);
+    let (ship_tx, ship_rx) = std::sync::mpsc::channel::<u64>();
+    let (ack_tx, ack_rx) = std::sync::mpsc::channel::<u64>();
+    std::thread::scope(|scope| {
+        let thief_side = Arc::clone(&thief);
+        scope.spawn(move || {
+            // Thief: allocate on receipt, then ack — never the other order.
+            for bytes in ship_rx {
+                thief_side.allocate(bytes);
+                ack_tx.send(bytes).unwrap();
+            }
+        });
+        let victim_side = Arc::clone(&victim);
+        scope.spawn(move || {
+            // Victim: ship, keep the charge until the ack comes back.
+            for _ in 0..PARTITIONS {
+                ship_tx.send(BYTES).unwrap();
+                let acked = ack_rx.recv().unwrap();
+                victim_side.release(acked);
+            }
+        });
+        for _ in 0..10_000 {
+            let sum = victim.current() + thief.current();
+            assert!(sum >= PARTITIONS * BYTES, "undercounted: {sum}");
+            assert!(sum <= (PARTITIONS + 1) * BYTES, "overcounted: {sum}");
+        }
+    });
+    assert_eq!(victim.current(), 0);
+    assert_eq!(thief.current(), PARTITIONS * BYTES);
+}
+
 #[test]
 fn skewed_partitions_finish_via_stealing_and_pipelining() {
     // A graph whose edges concentrate on the vertices machine 1 owns
