@@ -1,0 +1,256 @@
+//! Chaos smoke benchmark: a fixed-seed fault-plan matrix over the hardened
+//! runtime, writing a `BENCH_chaos.json` artifact so the fault-recovery
+//! trajectory (retransmits, recovered drops, dedup hits, cancel latency) is
+//! recorded per PR by CI.
+//!
+//! ```text
+//! cargo run --release -p huge-bench --bin chaos_smoke [-- <output.json>]
+//! ```
+//!
+//! Every scenario runs the same skewed square workload; the matrix arms one
+//! transport fault mix per row (all derived from one fixed seed, so the runs
+//! replay identically) and asserts exact parity with the fault-free row.
+
+use std::time::{Duration, Instant};
+
+use huge_core::{CancelToken, ClusterConfig, EngineError, Fault, HugeCluster, SinkMode};
+use huge_graph::{gen, Graph};
+use huge_query::Pattern;
+
+const FAULT_SEED: u64 = 0x00C4_A05E_ED00;
+
+struct Row {
+    name: &'static str,
+    seconds: f64,
+    matches: u64,
+    retransmits: u64,
+    transport_drops: u64,
+    transport_dups: u64,
+    dedup_drops: u64,
+}
+
+/// The skewed workload every scenario runs: an ER base with a K_{2,m} hub
+/// gadget, so the join has a hot partition and the ship path stays busy.
+fn chaos_graph() -> Graph {
+    let mut edges: Vec<(u32, u32)> = gen::erdos_renyi(8_000, 32_000, 21).edges().collect();
+    let (u, w) = (20_000u32, 20_001u32);
+    for i in 0..96u32 {
+        edges.push((u, 21_000 + i));
+        edges.push((w, 21_000 + i));
+    }
+    Graph::from_edges(edges)
+}
+
+fn join_plan(
+    cluster: &HugeCluster,
+    query: &huge_query::QueryGraph,
+) -> (huge_plan::logical::ExecutionPlan, usize) {
+    let plan = cluster
+        .plan_with_options(
+            query,
+            huge_plan::optimizer::OptimizerOptions {
+                disable_pulling: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let segments = huge_plan::translate::translate(&plan)
+        .unwrap()
+        .segments
+        .len();
+    (plan, segments)
+}
+
+fn run_scenario(
+    name: &'static str,
+    graph: &Graph,
+    query: &huge_query::QueryGraph,
+    config: ClusterConfig,
+) -> Row {
+    let cluster = HugeCluster::build(graph.clone(), config).unwrap();
+    let (plan, _) = join_plan(&cluster, query);
+    let start = Instant::now();
+    let report = cluster.run_with_plan(&plan, SinkMode::Count).unwrap();
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(report.leaked_bytes, 0, "{name}: leaked tracked bytes");
+    assert_eq!(
+        report.orphaned_spill_files, 0,
+        "{name}: orphaned spill files"
+    );
+    let row = Row {
+        name,
+        seconds,
+        matches: report.matches,
+        retransmits: report.comm.retransmits,
+        transport_drops: report.comm.transport_drops,
+        transport_dups: report.comm.transport_dups,
+        dedup_drops: report.comm.dedup_drops,
+    };
+    println!(
+        "{name:<22} {seconds:>8.3}s   matches {:<10} drops {:<6} retx {:<6} dups {:<6}",
+        row.matches, row.transport_drops, row.retransmits, row.transport_dups
+    );
+    row
+}
+
+/// Arms `fault` on every machine of every segment (the whole link matrix).
+fn arm_everywhere(
+    mut config: ClusterConfig,
+    machines: usize,
+    segments: usize,
+    fault: Fault,
+) -> ClusterConfig {
+    for segment in 0..segments {
+        for machine in 0..machines {
+            config = config.inject_fault(machine, segment, fault);
+        }
+    }
+    config
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_chaos.json".to_string());
+    let graph = chaos_graph();
+    let query = Pattern::Square.query_graph();
+    let machines = 4usize;
+    let base = || {
+        ClusterConfig::new(machines)
+            .workers(1)
+            .fault_seed(FAULT_SEED)
+    };
+    let probe = HugeCluster::build(graph.clone(), base()).unwrap();
+    let (_, segments) = join_plan(&probe, &query);
+    let join_segment = segments - 1;
+
+    let matrix: Vec<(&'static str, ClusterConfig)> = vec![
+        ("fault_free", base()),
+        (
+            "drop_300k",
+            arm_everywhere(
+                base(),
+                machines,
+                segments,
+                Fault::DropBatch { ppm: 300_000 },
+            ),
+        ),
+        (
+            "duplicate_300k",
+            arm_everywhere(
+                base(),
+                machines,
+                segments,
+                Fault::DuplicateBatch { ppm: 300_000 },
+            ),
+        ),
+        (
+            "reorder_w8",
+            arm_everywhere(
+                base(),
+                machines,
+                segments,
+                Fault::ReorderWindow { window: 8 },
+            ),
+        ),
+        (
+            "full_mix",
+            arm_everywhere(
+                arm_everywhere(
+                    arm_everywhere(
+                        base(),
+                        machines,
+                        segments,
+                        Fault::DropBatch { ppm: 200_000 },
+                    ),
+                    machines,
+                    segments,
+                    Fault::DuplicateBatch { ppm: 200_000 },
+                ),
+                machines,
+                segments,
+                Fault::ReorderWindow { window: 4 },
+            ),
+        ),
+        (
+            "ship_drop_skew",
+            arm_everywhere(
+                base(),
+                machines,
+                segments,
+                Fault::DropBatch { ppm: 250_000 },
+            )
+            .inject_fault(1, join_segment, Fault::Delay(Duration::from_millis(300))),
+        ),
+    ];
+    let rows: Vec<Row> = matrix
+        .into_iter()
+        .map(|(name, config)| run_scenario(name, &graph, &query, config))
+        .collect();
+
+    // Every faulted row must reproduce the fault-free count exactly, and the
+    // recovery machinery must actually have fired.
+    let expected = rows[0].matches;
+    for row in &rows[1..] {
+        assert_eq!(row.matches, expected, "{}: parity broken", row.name);
+    }
+    let recovered: u64 = rows.iter().map(|r| r.retransmits).sum();
+    assert!(recovered > 0, "no drop was ever retransmitted");
+
+    // Cancel latency: cancel a run stuck in a long injected stall and time
+    // how long the cooperative unwind takes from the cancel to the return.
+    let config = base().inject_fault(1, join_segment, Fault::Delay(Duration::from_secs(5)));
+    let cluster = HugeCluster::build(graph, config).unwrap();
+    let (plan, _) = join_plan(&cluster, &query);
+    let dataflow = huge_plan::translate::translate(&plan).unwrap();
+    let cancel = CancelToken::new();
+    let canceller = cancel.clone();
+    let cancelled_at = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        canceller.cancel();
+        Instant::now()
+    });
+    let result = cluster.run_dataflow_with_cancel(&dataflow, SinkMode::Count, cancel);
+    let returned_at = Instant::now();
+    let cancel_latency_ms = match result {
+        Err(EngineError::Cancelled(Some(report))) => {
+            assert_eq!(report.leaked_bytes, 0, "cancel: leaked tracked bytes");
+            assert_eq!(
+                report.orphaned_spill_files, 0,
+                "cancel: orphaned spill files"
+            );
+            returned_at
+                .saturating_duration_since(cancelled_at.join().unwrap())
+                .as_secs_f64()
+                * 1e3
+        }
+        other => panic!("expected Cancelled with a partial report, got {other:?}"),
+    };
+    println!("cancel_latency          {cancel_latency_ms:>8.1}ms");
+
+    // Hand-rolled JSON (no serde in the offline build).
+    let mut json = String::from("{\n  \"benchmark\": \"chaos_smoke\",\n");
+    json.push_str(&format!("  \"fault_seed\": {FAULT_SEED},\n"));
+    json.push_str(&format!(
+        "  \"cancel_latency_ms\": {cancel_latency_ms:.1},\n"
+    ));
+    json.push_str(&format!("  \"recovered_retransmits\": {recovered},\n"));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"seconds\": {:.6}, \"matches\": {}, \"retransmits\": {}, \"transport_drops\": {}, \"transport_dups\": {}, \"dedup_drops\": {}}}{}\n",
+            r.name,
+            r.seconds,
+            r.matches,
+            r.retransmits,
+            r.transport_drops,
+            r.transport_dups,
+            r.dedup_drops,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json)?;
+    println!("wrote {out_path}");
+    Ok(())
+}

@@ -33,7 +33,8 @@ pub use batch::{ColBatch, RowBatch};
 pub use kv::ExternalKvStore;
 pub use network::NetworkModel;
 pub use router::{
-    ControlEnvelope, ControlMsg, PushEnvelope, QueueAccounting, Router, RouterEndpoint,
+    ControlEnvelope, ControlMsg, LinkFault, LinkFaultKind, PushEnvelope, QueueAccounting, Router,
+    RouterEndpoint, TransportConfig,
 };
 pub use rpc::RpcFabric;
 pub use stats::{ClusterStats, CommStats};

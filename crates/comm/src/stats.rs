@@ -30,6 +30,16 @@ pub struct CommStats {
     /// Bytes of columnar batches produced by this machine's operators (what
     /// the memory governor charges for in-flight columnar data).
     pub col_bytes: AtomicU64,
+    /// Data envelopes this machine retransmitted over the unreliable
+    /// transport (each costs a second `record_push`-equivalent send).
+    pub retransmits: AtomicU64,
+    /// Envelopes from this machine the fault injector dropped in transit.
+    pub transport_drops: AtomicU64,
+    /// Envelopes from this machine the fault injector delivered twice.
+    pub transport_dups: AtomicU64,
+    /// Stale copies this machine's inbox rejected via sequence-number dedup
+    /// (duplicates from the injector or from spurious retransmits).
+    pub dedup_drops: AtomicU64,
 }
 
 impl CommStats {
@@ -77,6 +87,26 @@ impl CommStats {
         self.col_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Records one retransmitted data envelope.
+    pub fn record_retransmit(&self) {
+        self.retransmits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one envelope lost to an injected transport drop.
+    pub fn record_transport_drop(&self) {
+        self.transport_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one envelope duplicated by the fault injector.
+    pub fn record_transport_dup(&self) {
+        self.transport_dups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one stale copy rejected by receiver-side dedup.
+    pub fn record_dedup_drop(&self) {
+        self.dedup_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> CommSnapshot {
         CommSnapshot {
@@ -91,6 +121,10 @@ impl CommStats {
             kernel_gallop: self.kernel_gallop.load(Ordering::Relaxed),
             kernel_bitmap: self.kernel_bitmap.load(Ordering::Relaxed),
             col_bytes: self.col_bytes.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            transport_drops: self.transport_drops.load(Ordering::Relaxed),
+            transport_dups: self.transport_dups.load(Ordering::Relaxed),
+            dedup_drops: self.dedup_drops.load(Ordering::Relaxed),
         }
     }
 }
@@ -120,6 +154,14 @@ pub struct CommSnapshot {
     pub kernel_bitmap: u64,
     /// Bytes of columnar batches produced by the operator layer.
     pub col_bytes: u64,
+    /// Data envelopes retransmitted over the unreliable transport.
+    pub retransmits: u64,
+    /// Envelopes lost to injected transport drops.
+    pub transport_drops: u64,
+    /// Envelopes duplicated by the fault injector.
+    pub transport_dups: u64,
+    /// Stale copies rejected by receiver-side dedup.
+    pub dedup_drops: u64,
 }
 
 impl CommSnapshot {
@@ -152,6 +194,10 @@ impl CommSnapshot {
             kernel_gallop: self.kernel_gallop + other.kernel_gallop,
             kernel_bitmap: self.kernel_bitmap + other.kernel_bitmap,
             col_bytes: self.col_bytes + other.col_bytes,
+            retransmits: self.retransmits + other.retransmits,
+            transport_drops: self.transport_drops + other.transport_drops,
+            transport_dups: self.transport_dups + other.transport_dups,
+            dedup_drops: self.dedup_drops + other.dedup_drops,
         }
     }
 }
@@ -219,6 +265,24 @@ mod tests {
         assert_eq!(s.kernel_bitmap, 1);
         assert_eq!(s.kernel_invocations(), 8);
         assert_eq!(s.col_bytes, 128);
+    }
+
+    #[test]
+    fn transport_counters_accumulate_and_merge() {
+        let stats = CommStats::new();
+        stats.record_retransmit();
+        stats.record_retransmit();
+        stats.record_transport_drop();
+        stats.record_transport_dup();
+        stats.record_dedup_drop();
+        let s = stats.snapshot();
+        assert_eq!(s.retransmits, 2);
+        assert_eq!(s.transport_drops, 1);
+        assert_eq!(s.transport_dups, 1);
+        assert_eq!(s.dedup_drops, 1);
+        let merged = s.merge(&s);
+        assert_eq!(merged.retransmits, 4);
+        assert_eq!(merged.dedup_drops, 2);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use huge_comm::stats::ClusterStats;
-use huge_comm::{Router, RpcFabric};
+use huge_comm::{LinkFault, LinkFaultKind, Router, RpcFabric, TransportConfig};
 use huge_graph::{Graph, GraphStats, Partitioner};
 use huge_plan::baselines::{plug_into_huge, BaselineSystem};
 use huge_plan::cost::{CostModel, HybridEstimator};
@@ -15,12 +15,13 @@ use huge_plan::optimizer::{Optimizer, OptimizerOptions};
 use huge_plan::translate::{translate, Dataflow, SegmentSource};
 use huge_query::QueryGraph;
 
-use crate::config::{ClusterConfig, SinkMode};
+use crate::cancel::CancelToken;
+use crate::config::{ClusterConfig, Fault, SinkMode};
 use crate::governor::MemoryGovernor;
 use crate::machine::{MachineState, SegmentPlan, Terminal};
 use crate::memory::MemoryTracker;
 use crate::operators::ScanPool;
-use crate::report::{merge_cache_stats, JoinReport, RunReport};
+use crate::report::{merge_cache_stats, JoinReport, RunOutcome, RunReport};
 use crate::scheduler::{RunShared, SegmentQueues, SegmentShared};
 use crate::{EngineError, Result};
 
@@ -99,6 +100,21 @@ impl HugeCluster {
         self.run_with_plan(&plan, sink)
     }
 
+    /// Plans and runs `query` under an externally-held [`CancelToken`]:
+    /// calling [`CancelToken::cancel`] from any thread makes the run unwind
+    /// cooperatively and return [`EngineError::Cancelled`] carrying the
+    /// partial-stats report. [`ClusterConfig::deadline`] arms the same token.
+    pub fn run_with_cancel(
+        &self,
+        query: &QueryGraph,
+        sink: SinkMode,
+        cancel: CancelToken,
+    ) -> Result<RunReport> {
+        let plan = self.plan(query)?;
+        let dataflow = translate(&plan)?;
+        self.run_dataflow_with_cancel(&dataflow, sink, cancel)
+    }
+
     /// Runs a baseline system's *logical* plan on the HUGE engine after
     /// re-configuring its physical settings by Equation 3 (the paper's
     /// HUGE-BENU / HUGE-RADS / HUGE-SEED / HUGE-WCO variants of Exp-1).
@@ -120,12 +136,57 @@ impl HugeCluster {
 
     /// Executes a translated dataflow.
     pub fn run_dataflow(&self, dataflow: &Dataflow, sink: SinkMode) -> Result<RunReport> {
+        self.run_dataflow_with_cancel(dataflow, sink, CancelToken::new())
+    }
+
+    /// Executes a translated dataflow under an externally-held cancel token.
+    pub fn run_dataflow_with_cancel(
+        &self,
+        dataflow: &Dataflow,
+        sink: SinkMode,
+        cancel: CancelToken,
+    ) -> Result<RunReport> {
+        // A fault aimed at a segment the plan does not have would silently
+        // never fire; reject it now that the segment count is known.
+        self.config
+            .validate_fault_segments(dataflow.segments.len())
+            .map_err(EngineError::Config)?;
+        if let Some(deadline) = self.config.deadline {
+            cancel.arm_deadline(deadline);
+        }
         let k = self.config.machines;
         let comm_stats = ClusterStats::new(k);
         // Bounded, event-driven router: producers see backpressure when a
         // destination inbox fills; consumers park on it instead of spinning.
-        let router =
+        let mut router =
             Router::with_capacity(k, comm_stats.clone(), self.config.router_queue_rows.max(1));
+        if self.config.unreliable_transport {
+            let faults = self
+                .config
+                .fault_plan
+                .iter()
+                .filter_map(|spec| {
+                    let kind = match spec.fault {
+                        Fault::DropBatch { ppm } => LinkFaultKind::Drop { ppm },
+                        Fault::DuplicateBatch { ppm } => LinkFaultKind::Duplicate { ppm },
+                        Fault::ReorderWindow { window } => LinkFaultKind::Reorder { window },
+                        Fault::SlowLink { delay } => LinkFaultKind::Slow { delay },
+                        _ => return None,
+                    };
+                    Some(LinkFault {
+                        machine: spec.machine,
+                        segment: spec.segment,
+                        kind,
+                    })
+                })
+                .collect();
+            router.set_transport(TransportConfig {
+                seed: self.config.fault_seed,
+                faults,
+                ..TransportConfig::default()
+            });
+        }
+        let router = router;
         let rpc = RpcFabric::new(Arc::clone(&self.partitions), comm_stats.clone());
         let cache_bytes = self.config.effective_cache_bytes(self.stats.csr_bytes);
         let spill_root = spill_dir();
@@ -163,7 +224,7 @@ impl HugeCluster {
         let segment_plans = build_segment_plans(dataflow);
         let epoch = Instant::now();
         for state in machines.iter_mut() {
-            state.prepare_run(&segment_plans, epoch);
+            state.prepare_run(&segment_plans, epoch, cancel.clone());
         }
 
         // Pre-build every segment's cross-machine state (stealable scan
@@ -201,7 +262,7 @@ impl HugeCluster {
                 }
             })
             .collect();
-        let run_shared = RunShared::new(shared_segments);
+        let run_shared = RunShared::new(shared_segments, cancel);
 
         let threads_spawned = AtomicUsize::new(0);
         let start = Instant::now();
@@ -261,8 +322,41 @@ impl HugeCluster {
             res
         };
         let compute_time = start.elapsed();
+
+        // Teardown sweep — runs whatever the outcome. Finishing each machine
+        // drains its inbox and drops unfinished joins (their `Drop` impls
+        // release buffered bytes and delete spill files); the shared operator
+        // queues are drained explicitly (popping releases the tracked
+        // charge). Only then are the trackers and the spill root audited, so
+        // a cancelled or failed run is held to the same no-leak standard as a
+        // completed one.
+        for state in machines.iter_mut() {
+            state.finish_run();
+        }
+        for seg in &run_shared.segments {
+            for queues in &seg.queues {
+                for op in 0..queues.len() {
+                    while queues.queue(op).pop().is_some() {}
+                }
+            }
+        }
+        let leaked_bytes: u64 = trackers.iter().map(|t| t.current()).sum();
+        let orphaned_spill_files = count_files_under(&spill_root);
         let _ = std::fs::remove_dir_all(&spill_root);
-        run_result?;
+
+        // Hard failures (panics, config errors, transport exhaustion) keep
+        // their error; cancellation and deadline expiry carry the partial
+        // report out through the typed error below.
+        let run_err = match run_result {
+            Ok(()) => None,
+            Err(e @ (EngineError::Cancelled(_) | EngineError::DeadlineExceeded(_))) => Some(e),
+            Err(e) => return Err(e),
+        };
+        let outcome = match &run_err {
+            None => RunOutcome::Completed,
+            Some(EngineError::Cancelled(_)) => RunOutcome::Cancelled,
+            Some(_) => RunOutcome::DeadlineExceeded,
+        };
 
         // Aggregate the report.
         let comm_total = comm_stats.total();
@@ -292,7 +386,7 @@ impl HugeCluster {
             join.merge(&m.join);
         }
 
-        Ok(RunReport {
+        let report = RunReport {
             query: dataflow.query.name().to_string(),
             matches,
             sample_matches: samples,
@@ -308,14 +402,46 @@ impl HugeCluster {
             governor: governor.report(peak_memory_bytes),
             join,
             machines: machine_reports,
-        })
+            outcome,
+            leaked_bytes,
+            orphaned_spill_files,
+        };
+        match run_err {
+            None => Ok(report),
+            Some(EngineError::Cancelled(_)) => Err(EngineError::Cancelled(Some(Box::new(report)))),
+            Some(_) => Err(EngineError::DeadlineExceeded(Some(Box::new(report)))),
+        }
     }
 }
 
-/// Collapses per-machine outcomes into one, preferring the root-cause error
-/// over the `Aborted` errors peers report when bailing out of a failed run.
+/// Counts regular files left under `root` (recursively) — spill files a
+/// finished run failed to delete.
+fn count_files_under(root: &std::path::Path) -> u64 {
+    fn walk(dir: &std::path::Path, n: &mut u64) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, n);
+            } else {
+                *n += 1;
+            }
+        }
+    }
+    let mut n = 0;
+    walk(root, &mut n);
+    n
+}
+
+/// Collapses per-machine outcomes into one. Priority: a root-cause error
+/// (panic, config, transport) beats the typed `Cancelled`/`DeadlineExceeded`
+/// outcomes, which beat the `Aborted` errors peers report when bailing out
+/// of a run someone else ended.
 fn collapse_outcomes(outcome: Vec<Result<()>>) -> Result<()> {
     let mut aborted: Option<EngineError> = None;
+    let mut cancelled: Option<EngineError> = None;
     for res in outcome {
         match res {
             Ok(()) => {}
@@ -324,12 +450,17 @@ fn collapse_outcomes(outcome: Vec<Result<()>>) -> Result<()> {
                     aborted = Some(e);
                 }
             }
+            Err(e @ (EngineError::Cancelled(_) | EngineError::DeadlineExceeded(_))) => {
+                if cancelled.is_none() {
+                    cancelled = Some(e);
+                }
+            }
             Err(e) => return Err(e),
         }
     }
-    match aborted {
-        Some(e) => Err(e),
-        None => Ok(()),
+    match (cancelled, aborted) {
+        (Some(e), _) | (None, Some(e)) => Err(e),
+        (None, None) => Ok(()),
     }
 }
 

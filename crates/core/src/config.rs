@@ -29,24 +29,87 @@ pub enum LoadBalance {
     RegionGroup,
 }
 
+/// Where a [`Fault::PanicAt`] fires inside the faulted segment, instead of
+/// at the segment's start like the plain [`Fault::Panic`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanicPoint {
+    /// While building the segment's operator chain (before any input).
+    Build,
+    /// When the segment's `PUSH-JOIN` starts probing (after sealing).
+    Probe,
+    /// When the machine ships a stolen Grace partition to a peer.
+    Ship,
+}
+
 /// What a [`FaultSpec`] injects.
+///
+/// `Panic`/`PanicAt`/`Delay` fire once, at (or inside) the named segment on
+/// the named machine. The transport faults (`DropBatch`, `DuplicateBatch`,
+/// `ReorderWindow`, `SlowLink`) instead *arm a lossy link* for every data
+/// envelope the machine sends while executing that segment's shuffle; they
+/// require [`ClusterConfig::unreliable_transport`] (the run is rejected
+/// otherwise — without the retry/ack path the faults would silently corrupt
+/// results). All probabilistic decisions derive from
+/// [`ClusterConfig::fault_seed`], so a fault plan replays identically.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Fault {
     /// The machine thread panics (exercises abort propagation).
     Panic,
+    /// The machine thread panics at a specific point inside the segment.
+    PanicAt(PanicPoint),
     /// The machine sleeps for the given duration before executing the
-    /// segment (makes one machine a deterministic straggler).
+    /// segment (makes one machine a deterministic straggler). The sleep is
+    /// sliced so cancellation still lands at batch granularity.
     Delay(Duration),
+    /// Each data envelope the machine sends is lost in transit with
+    /// probability `ppm` / 1 000 000; the sender's retry path recovers it.
+    DropBatch {
+        /// Loss probability in parts per million (≤ 1 000 000).
+        ppm: u32,
+    },
+    /// Each data envelope is delivered twice with probability `ppm`
+    /// / 1 000 000; the receiver's dedup drops the copy.
+    DuplicateBatch {
+        /// Duplication probability in parts per million (≤ 1 000 000).
+        ppm: u32,
+    },
+    /// Data envelopes are buffered and released in a seeded shuffle every
+    /// `window` sends (out-of-order delivery; sequence numbers restore the
+    /// per-link order guarantees the join feed relies on).
+    ReorderWindow {
+        /// Shuffle window in envelopes (≥ 1; 1 degenerates to in-order).
+        window: usize,
+    },
+    /// Every data envelope from the machine is held back `delay` before the
+    /// destination accepts it (a slow NIC / congested link).
+    SlowLink {
+        /// Added one-way latency.
+        delay: Duration,
+    },
 }
 
-/// A chaos-testing hook: inject a fault on one machine at the start of one
-/// segment. Used by the test suite to make abort propagation and
-/// cross-segment overlap deterministic; `None` in production.
+impl Fault {
+    /// `true` for the fault kinds that perturb the data transport (and so
+    /// require [`ClusterConfig::unreliable_transport`]).
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            Fault::DropBatch { .. }
+                | Fault::DuplicateBatch { .. }
+                | Fault::ReorderWindow { .. }
+                | Fault::SlowLink { .. }
+        )
+    }
+}
+
+/// A chaos-testing hook: inject a fault on one machine, armed by one
+/// segment. Used by the test suite and the chaos harness to make failure
+/// paths deterministic; the plan is empty in production.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultSpec {
     /// The machine the fault fires on.
     pub machine: usize,
-    /// The segment whose start triggers it.
+    /// The segment whose start triggers (or arms) it.
     pub segment: usize,
     /// What happens.
     pub fault: Fault,
@@ -124,8 +187,23 @@ pub struct ClusterConfig {
     /// Per-machine byte budget override. `None` derives the per-machine
     /// share from `memory_budget`.
     pub memory_budget_per_machine: Option<u64>,
-    /// Chaos-testing hook; see [`FaultSpec`].
-    pub fault_injection: Option<FaultSpec>,
+    /// Chaos-testing hooks; see [`FaultSpec`]. Empty in production. Faults
+    /// are independent: several may target the same machine/segment.
+    pub fault_plan: Vec<FaultSpec>,
+    /// Seed for every probabilistic fault decision (drop/duplicate fates,
+    /// reorder shuffles). The same plan + seed replays identically.
+    pub fault_seed: u64,
+    /// Run data envelopes over the lossy-transport path: sequence-numbered,
+    /// receiver-deduplicated, sender-retried with bounded backoff. Required
+    /// by the transport fault kinds; harmless (but slightly slower) without
+    /// them.
+    pub unreliable_transport: bool,
+    /// Wall-clock budget for a run. When set, the run's
+    /// [`CancelToken`](crate::cancel::CancelToken) trips to
+    /// `DeadlineExceeded` once the budget elapses and the cluster returns
+    /// [`EngineError::DeadlineExceeded`](crate::EngineError) carrying the
+    /// partial-stats report. `None` (the default) never expires.
+    pub deadline: Option<Duration>,
     /// Network model used to convert recorded traffic into the reported
     /// communication time `T_C`.
     pub network: NetworkModel,
@@ -165,7 +243,10 @@ impl ClusterConfig {
             pipeline_segments: true,
             memory_budget: None,
             memory_budget_per_machine: None,
-            fault_injection: None,
+            fault_plan: Vec::new(),
+            fault_seed: 0x9e37_79b9_7f4a_7c15,
+            unreliable_transport: false,
+            deadline: None,
             network: NetworkModel::ten_gbps(machines.max(1)),
             governor_enter_yellow: 0.60,
             governor_exit_yellow: 0.45,
@@ -273,13 +354,49 @@ impl ClusterConfig {
         self
     }
 
-    /// Installs a chaos-testing fault (see [`FaultSpec`]).
+    /// Appends a chaos-testing fault to the plan (see [`FaultSpec`]).
+    /// Transport faults also switch on [`ClusterConfig::unreliable_transport`]
+    /// — they are meaningless (and rejected) without the retry/ack path.
     pub fn inject_fault(mut self, machine: usize, segment: usize, fault: Fault) -> Self {
-        self.fault_injection = Some(FaultSpec {
+        if fault.is_transport() {
+            self.unreliable_transport = true;
+        }
+        self.fault_plan.push(FaultSpec {
             machine,
             segment,
             fault,
         });
+        self
+    }
+
+    /// Replaces the whole fault plan at once (the chaos harness's entry
+    /// point). Transport faults switch on
+    /// [`ClusterConfig::unreliable_transport`], as with
+    /// [`ClusterConfig::inject_fault`].
+    pub fn fault_plan(mut self, plan: Vec<FaultSpec>) -> Self {
+        if plan.iter().any(|s| s.fault.is_transport()) {
+            self.unreliable_transport = true;
+        }
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the seed behind every probabilistic fault decision.
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Enables (or disables) the lossy-transport path independently of any
+    /// injected fault — useful to measure its overhead on a clean network.
+    pub fn unreliable_transport(mut self, enabled: bool) -> Self {
+        self.unreliable_transport = enabled;
+        self
+    }
+
+    /// Sets the wall-clock deadline for each run.
+    pub fn deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(timeout);
         self
     }
 
@@ -370,6 +487,51 @@ impl ClusterConfig {
                 self.governor_enter_red, self.governor_enter_yellow
             ));
         }
+        for (i, spec) in self.fault_plan.iter().enumerate() {
+            if spec.machine >= self.machines {
+                return Err(format!(
+                    "fault_plan[{i}] targets machine {} but the cluster has {} machines \
+                     (the fault would silently never fire)",
+                    spec.machine, self.machines
+                ));
+            }
+            match spec.fault {
+                Fault::DropBatch { ppm } | Fault::DuplicateBatch { ppm } if ppm > 1_000_000 => {
+                    return Err(format!(
+                        "fault_plan[{i}]: probability {ppm} ppm exceeds 1_000_000"
+                    ));
+                }
+                Fault::ReorderWindow { window: 0 } => {
+                    return Err(format!(
+                        "fault_plan[{i}]: reorder window must be at least 1"
+                    ));
+                }
+                _ => {}
+            }
+            if spec.fault.is_transport() && !self.unreliable_transport {
+                return Err(format!(
+                    "fault_plan[{i}] injects a transport fault but unreliable_transport is \
+                     off — without the retry/ack path the fault would corrupt results"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the fault plan against the translated dataflow's segment
+    /// count (only known at run time, so this complements
+    /// [`ClusterConfig::validate`]). A spec naming a segment that does not
+    /// exist would silently never fire — reject it instead.
+    pub fn validate_fault_segments(&self, num_segments: usize) -> Result<(), String> {
+        for (i, spec) in self.fault_plan.iter().enumerate() {
+            if spec.segment >= num_segments {
+                return Err(format!(
+                    "fault_plan[{i}] targets segment {} but the plan has {num_segments} \
+                     segments (the fault would silently never fire)",
+                    spec.segment
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -423,19 +585,79 @@ mod tests {
     fn pipelining_defaults_on_and_toggles() {
         let cfg = ClusterConfig::new(2);
         assert!(cfg.pipeline_segments);
-        assert!(cfg.fault_injection.is_none());
-        let cfg =
-            cfg.pipeline_segments(false)
-                .inject_fault(1, 0, Fault::Delay(Duration::from_millis(5)));
+        assert!(cfg.fault_plan.is_empty());
+        // `inject_fault` appends to the plan (each call adds one spec).
+        let cfg = cfg
+            .pipeline_segments(false)
+            .inject_fault(1, 0, Fault::Delay(Duration::from_millis(5)))
+            .inject_fault(0, 1, Fault::Panic);
         assert!(!cfg.pipeline_segments);
         assert_eq!(
-            cfg.fault_injection,
-            Some(FaultSpec {
-                machine: 1,
-                segment: 0,
-                fault: Fault::Delay(Duration::from_millis(5)),
-            })
+            cfg.fault_plan,
+            vec![
+                FaultSpec {
+                    machine: 1,
+                    segment: 0,
+                    fault: Fault::Delay(Duration::from_millis(5)),
+                },
+                FaultSpec {
+                    machine: 0,
+                    segment: 1,
+                    fault: Fault::Panic,
+                },
+            ]
         );
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_plan_validation_rejects_out_of_range_and_degenerate_specs() {
+        // Machine index beyond the cluster: the fault would never fire.
+        let cfg = ClusterConfig::new(2).inject_fault(2, 0, Fault::Panic);
+        assert!(cfg.validate().is_err());
+        // Probabilities are parts-per-million, capped at 1.0.
+        let cfg = ClusterConfig::new(2).inject_fault(0, 0, Fault::DropBatch { ppm: 1_000_001 });
+        assert!(cfg.validate().is_err());
+        // A zero reorder window is meaningless.
+        let cfg = ClusterConfig::new(2).inject_fault(0, 0, Fault::ReorderWindow { window: 0 });
+        assert!(cfg.validate().is_err());
+        // Segment bounds are checked against the translated plan.
+        let cfg = ClusterConfig::new(2).inject_fault(0, 3, Fault::Panic);
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.validate_fault_segments(4).is_ok());
+        assert!(cfg.validate_fault_segments(3).is_err());
+    }
+
+    #[test]
+    fn transport_faults_arm_the_lossy_transport() {
+        let cfg = ClusterConfig::new(2);
+        assert!(!cfg.unreliable_transport);
+        let cfg = cfg.inject_fault(0, 0, Fault::DropBatch { ppm: 1000 });
+        assert!(cfg.unreliable_transport);
+        assert!(cfg.validate().is_ok());
+        // Same through the whole-plan setter.
+        let cfg = ClusterConfig::new(2).fault_plan(vec![FaultSpec {
+            machine: 1,
+            segment: 0,
+            fault: Fault::ReorderWindow { window: 4 },
+        }]);
+        assert!(cfg.unreliable_transport);
+        // Forcing the transport off under a transport fault is rejected.
+        let cfg = cfg.unreliable_transport(false);
+        assert!(cfg.validate().is_err());
+        // Non-transport faults leave the transport alone.
+        let cfg = ClusterConfig::new(2).inject_fault(0, 0, Fault::PanicAt(PanicPoint::Probe));
+        assert!(!cfg.unreliable_transport);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn deadline_and_seed_builders_apply() {
+        let cfg = ClusterConfig::new(2);
+        assert!(cfg.deadline.is_none());
+        let cfg = cfg.deadline(Duration::from_millis(250)).fault_seed(42);
+        assert_eq!(cfg.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(cfg.fault_seed, 42);
         assert!(cfg.validate().is_ok());
     }
 

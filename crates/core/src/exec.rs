@@ -295,6 +295,7 @@ pub struct PushJoin {
     out_arity: usize,
     batch_rows: usize,
     produced: u64,
+    cancel: Option<crate::cancel::CancelToken>,
 }
 
 impl PushJoin {
@@ -323,7 +324,17 @@ impl PushJoin {
             out_arity,
             batch_rows: batch_rows.max(1),
             produced: 0,
+            cancel: None,
         }
+    }
+
+    /// Threads the run's cancellation token into the join so probing
+    /// ([`JoinStream::next_batch`]) polls it at batch granularity.
+    pub fn set_cancel(&mut self, cancel: crate::cancel::CancelToken) {
+        if let Some(stream) = self.stream.as_mut() {
+            stream.set_cancel(cancel.clone());
+        }
+        self.cancel = Some(cancel);
     }
 
     /// Feeds one input batch to one side of the join.
@@ -419,7 +430,11 @@ impl BatchOperator for PushJoin {
         if let Some(joiner) = self.joiner.take() {
             // Sealing is cheap: partitions stay buffered/spilled until the
             // stream is polled.
-            self.stream = Some(joiner.into_stream(self.batch_rows));
+            let mut stream = joiner.into_stream(self.batch_rows);
+            if let Some(cancel) = &self.cancel {
+                stream.set_cancel(cancel.clone());
+            }
+            self.stream = Some(stream);
         }
         Ok(())
     }

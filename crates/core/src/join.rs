@@ -350,6 +350,7 @@ impl HashJoiner {
             spill_counter: self.spill_counter,
             states,
             adopted: std::collections::VecDeque::new(),
+            cancel: None,
         }
     }
 
@@ -439,6 +440,9 @@ pub struct JoinStream {
     states: Vec<PartitionState>,
     /// Partitions adopted from peers, probed after the local ones.
     adopted: std::collections::VecDeque<AdoptedPartition>,
+    /// The run's cancellation token, polled per output batch so a cancel
+    /// lands mid-probe instead of after the whole join drains.
+    cancel: Option<crate::cancel::CancelToken>,
 }
 
 impl JoinStream {
@@ -516,9 +520,19 @@ impl JoinStream {
         Ok(total)
     }
 
+    /// Installs the run's cancellation token: every
+    /// [`JoinStream::next_batch`] call polls it first, so a cancel unwinds
+    /// mid-probe (the stream's `Drop` balances charges and spill files).
+    pub fn set_cancel(&mut self, cancel: crate::cancel::CancelToken) {
+        self.cancel = Some(cancel);
+    }
+
     /// Produces the next output batch (at most `batch_rows` rows), or `None`
     /// when the join is exhausted.
     pub fn next_batch(&mut self) -> Result<Option<ColBatch>> {
+        if let Some(cancel) = &self.cancel {
+            cancel.check()?;
+        }
         loop {
             if self.current.is_none() {
                 if self.partition >= NUM_PARTITIONS {

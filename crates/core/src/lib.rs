@@ -38,6 +38,7 @@
 //! assert!(report.matches > 0);
 //! ```
 
+pub mod cancel;
 pub mod cluster;
 pub mod config;
 pub mod exec;
@@ -50,11 +51,12 @@ pub mod pool;
 pub mod report;
 pub mod scheduler;
 
+pub use cancel::{CancelCause, CancelToken};
 pub use cluster::HugeCluster;
-pub use config::{ClusterConfig, Fault, FaultSpec, LoadBalance, SinkMode};
+pub use config::{ClusterConfig, Fault, FaultSpec, LoadBalance, PanicPoint, SinkMode};
 pub use exec::{BatchOperator, OpContext, OpPoll};
 pub use governor::{MemoryGovernor, PressureLevel};
-pub use report::{GovernorReport, JoinReport, MachineReport, RunReport};
+pub use report::{GovernorReport, JoinReport, MachineReport, RunOutcome, RunReport};
 
 /// Errors surfaced by the engine.
 #[derive(Debug)]
@@ -69,6 +71,19 @@ pub enum EngineError {
     WorkerPanic(String),
     /// A peer machine failed, aborting the run.
     Aborted(String),
+    /// The run was cancelled through its [`CancelToken`]. The cluster-level
+    /// error carries the partial-stats [`RunReport`]
+    /// (`outcome == RunOutcome::Cancelled`); errors surfaced from inside a
+    /// machine thread carry `None` — the cluster owns the stats.
+    Cancelled(Option<Box<RunReport>>),
+    /// The run outlived [`ClusterConfig::deadline`](config::ClusterConfig).
+    /// Carries the partial-stats report at the cluster level, like
+    /// [`EngineError::Cancelled`].
+    DeadlineExceeded(Option<Box<RunReport>>),
+    /// The unreliable transport exhausted its retransmit budget for an
+    /// envelope (the injected loss rate exceeded what bounded retry can
+    /// recover).
+    Transport(String),
     /// Spilling to disk failed.
     Io(std::io::Error),
 }
@@ -81,12 +96,27 @@ impl std::fmt::Display for EngineError {
             EngineError::Config(msg) => write!(f, "configuration error: {msg}"),
             EngineError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
             EngineError::Aborted(msg) => write!(f, "run aborted: {msg}"),
+            EngineError::Cancelled(_) => write!(f, "run cancelled"),
+            EngineError::DeadlineExceeded(_) => write!(f, "query deadline exceeded"),
+            EngineError::Transport(msg) => write!(f, "transport failure: {msg}"),
             EngineError::Io(e) => write!(f, "io error: {e}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl EngineError {
+    /// The partial-stats report attached to a cancelled/deadline outcome
+    /// (the teardown sweep already ran when it is present), `None` for
+    /// every other error.
+    pub fn partial_report(&self) -> Option<&RunReport> {
+        match self {
+            EngineError::Cancelled(r) | EngineError::DeadlineExceeded(r) => r.as_deref(),
+            _ => None,
+        }
+    }
+}
 
 impl From<huge_plan::logical::PlanError> for EngineError {
     fn from(e: huge_plan::logical::PlanError) -> Self {

@@ -22,7 +22,7 @@
 //! (per-source-machine EOS envelopes let a consumer seal and probe before
 //! the release counters drain; see [`ControlMsg::Eos`]).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
@@ -34,7 +34,8 @@ use huge_plan::translate::{Segment, SegmentSource};
 use huge_query::QueryVertex;
 use std::sync::Arc;
 
-use crate::config::{ClusterConfig, Fault, SinkMode};
+use crate::cancel::CancelToken;
+use crate::config::{ClusterConfig, Fault, PanicPoint, SinkMode};
 use crate::exec::{
     partition_cols_by_key, BatchOperator, OpContext, OpPoll, PullExtend, PushJoin, ScanSource,
 };
@@ -224,6 +225,18 @@ pub struct MachineState {
     /// the thieves' acks are in flight (allocate-before-release: shipping
     /// may transiently double-count rows cluster-wide, never undercount).
     pending_ship_bytes: u64,
+    /// Victim-side ledger of unacked partition ships: `ship_id` → charged
+    /// bytes. An ack for an id not in the ledger is a re-delivery over the
+    /// lossy transport and is ignored, keeping the release idempotent.
+    pending_ships: HashMap<u64, u64>,
+    /// Monotonic id source for [`ControlMsg::PartitionShip`] envelopes.
+    next_ship_id: u64,
+    /// Thief-side dedup of adopted ships, keyed by `(victim, ship_id)`: a
+    /// duplicated ship envelope is re-acked but never re-adopted.
+    ship_seen: HashSet<(MachineId, u64)>,
+    /// The run's cancellation token (deadline-armed by the cluster); every
+    /// cooperative loop polls it at batch granularity.
+    cancel: CancelToken,
     /// Skew-handling counters surfaced in the run report.
     join_stats: JoinReport,
     /// Join segments started on EOS evidence, awaiting the moment the
@@ -273,6 +286,10 @@ impl MachineState {
             steal_requests: HashMap::new(),
             join_ctl: HashMap::new(),
             pending_ship_bytes: 0,
+            pending_ships: HashMap::new(),
+            next_ship_id: 0,
+            ship_seen: HashSet::new(),
+            cancel: CancelToken::new(),
             join_stats: JoinReport::default(),
             spec_pending: HashMap::new(),
         }
@@ -282,7 +299,7 @@ impl MachineState {
     /// the envelope routing table, so inbound shuffle data can be absorbed
     /// the moment it arrives — during the *producing* segment. `epoch` is
     /// the shared instant per-segment spans are measured against.
-    pub fn prepare_run(&mut self, plans: &[SegmentPlan], epoch: Instant) {
+    pub fn prepare_run(&mut self, plans: &[SegmentPlan], epoch: Instant, cancel: CancelToken) {
         self.run_epoch = epoch;
         self.segment_busy = vec![Duration::ZERO; plans.len()];
         self.segment_spans = vec![None; plans.len()];
@@ -292,6 +309,10 @@ impl MachineState {
         self.steal_requests.clear();
         self.join_ctl.clear();
         self.pending_ship_bytes = 0;
+        self.pending_ships.clear();
+        self.next_ship_id = 0;
+        self.ship_seen.clear();
+        self.cancel = cancel;
         self.join_stats = JoinReport::default();
         self.spec_pending.clear();
         for plan in plans {
@@ -303,20 +324,39 @@ impl MachineState {
                     .insert(op.left, (plan.segment.id, JoinSide::Left));
                 self.join_feeds
                     .insert(op.right, (plan.segment.id, JoinSide::Right));
-                self.pending_joins.insert(
-                    plan.segment.id,
-                    PushJoin::new(
-                        op.clone(),
-                        left_arity,
-                        right_arity,
-                        self.config.join_buffer_bytes,
-                        self.spill_dir.join(format!("seg-{}", plan.segment.id)),
-                        MemoryTrackerHandle::Tracked(Arc::clone(&self.memory)),
-                        self.config.batch_size,
-                    ),
+                let mut join = PushJoin::new(
+                    op.clone(),
+                    left_arity,
+                    right_arity,
+                    self.config.join_buffer_bytes,
+                    self.spill_dir.join(format!("seg-{}", plan.segment.id)),
+                    MemoryTrackerHandle::Tracked(Arc::clone(&self.memory)),
+                    self.config.batch_size,
                 );
+                // A cancelled probe must stop between batches, so the join's
+                // eventual stream polls the run token too.
+                join.set_cancel(self.cancel.clone());
+                self.pending_joins.insert(plan.segment.id, join);
             }
         }
+    }
+
+    /// Tears down this machine's per-run state after its thread has joined,
+    /// whatever the run's outcome: drains the router inbox (releasing the
+    /// byte charges queued envelopes hold), balances the skew-protocol
+    /// ledgers, and drops any unfinished `PUSH-JOIN` builds — their `Drop`
+    /// impls release buffered bytes and delete spill files. After this sweep
+    /// a non-leaky run leaves the memory trackers at zero.
+    pub fn finish_run(&mut self) {
+        while self.router.try_recv().is_some() {}
+        while self.router.try_recv_control().is_some() {}
+        self.reclaim_skew_state();
+        self.pending_joins.clear();
+        self.join_feeds.clear();
+        self.eos_seen.clear();
+        self.join_ctl.clear();
+        self.ship_seen.clear();
+        self.pending_ships.clear();
     }
 
     /// Produces the per-machine report after a run.
@@ -385,6 +425,12 @@ impl MachineState {
     /// complete, so servicing it after the data drain guarantees every row
     /// of the requested partitions is already in the local build.
     fn absorb_inbox(&mut self) -> Result<()> {
+        // Service the lossy transport first: retransmit due drops and open
+        // any due slow-link gates, so inbound data below includes recovered
+        // envelopes. Exhausted retries surface as a typed transport failure.
+        self.router
+            .pump_transport()
+            .map_err(EngineError::Transport)?;
         while let Some(env) = self.router.try_recv() {
             let &(join_id, side) = self.join_feeds.get(&env.segment).ok_or_else(|| {
                 EngineError::Config(format!(
@@ -423,10 +469,26 @@ impl MachineState {
             ControlMsg::PartitionShip {
                 segment,
                 partition: _,
+                ship_id,
                 bytes,
                 left,
                 right,
             } => {
+                if !self.ship_seen.insert((from, ship_id)) {
+                    // Re-delivery over the lossy control plane: the rows were
+                    // adopted from the first copy, but the ack may have raced
+                    // the retransmit — re-ack so the victim settles (it drops
+                    // duplicate acks through its `pending_ships` ledger).
+                    self.router.send_control(
+                        from,
+                        ControlMsg::ShipAck {
+                            segment,
+                            ship_id,
+                            bytes,
+                        },
+                    );
+                    return;
+                }
                 // Allocate on the thief *before* acking (the victim releases
                 // only on the ack), preserving the steal-accounting parity.
                 self.memory.allocate(bytes);
@@ -434,14 +496,29 @@ impl MachineState {
                 ctl.outstanding = false;
                 ctl.adopted
                     .push_back((decode_rows(&left), decode_rows(&right), bytes));
-                self.router
-                    .send_control(from, ControlMsg::ShipAck { segment, bytes });
+                self.router.send_control(
+                    from,
+                    ControlMsg::ShipAck {
+                        segment,
+                        ship_id,
+                        bytes,
+                    },
+                );
             }
             ControlMsg::ShipNack { segment } => {
                 self.join_ctl.entry(segment).or_default().outstanding = false;
             }
-            ControlMsg::ShipAck { segment: _, bytes } => {
-                // The thief owns the rows now; drop the charge we held.
+            ControlMsg::ShipAck {
+                segment: _,
+                ship_id,
+                bytes: _,
+            } => {
+                // The thief owns the rows now; drop the charge we held — but
+                // only once per ship: a duplicated ship envelope provokes a
+                // second ack, which the ledger ignores.
+                let Some(bytes) = self.pending_ships.remove(&ship_id) else {
+                    return;
+                };
                 self.memory.release(bytes);
                 self.pending_ship_bytes = self.pending_ship_bytes.saturating_sub(bytes);
                 self.join_stats.partitions_shipped += 1;
@@ -469,6 +546,7 @@ impl MachineState {
             match self.router.try_push(dest, segment, pending) {
                 Ok(()) => return Ok(()),
                 Err(back) => {
+                    run.check_cancel()?;
                     if run.is_aborted() {
                         return Err(EngineError::Aborted(
                             "shuffle target lost to a failed peer machine".into(),
@@ -501,31 +579,60 @@ impl MachineState {
     /// machine's sealed Grace partitions *during* the stall instead of
     /// queueing behind it.
     fn maybe_inject_fault(&mut self, segment: usize) -> Result<()> {
-        let Some(spec) = self.config.fault_injection else {
-            return Ok(());
-        };
-        if spec.machine != self.machine || spec.segment != segment {
-            return Ok(());
-        }
-        match spec.fault {
-            Fault::Delay(total) => {
-                let deadline = Instant::now() + total;
-                loop {
-                    self.absorb_inbox()?;
-                    self.service_pending_join_steals()?;
-                    let now = Instant::now();
-                    if now >= deadline {
-                        break;
+        let faults: Vec<Fault> = self
+            .config
+            .fault_plan
+            .iter()
+            .filter(|spec| spec.machine == self.machine && spec.segment == segment)
+            .map(|spec| spec.fault)
+            .collect();
+        for fault in faults {
+            match fault {
+                Fault::Delay(total) => {
+                    let deadline = Instant::now() + total;
+                    loop {
+                        // A stalled machine still honours cancellation: the
+                        // slices poll the token, so a cancel or deadline cuts
+                        // the stall short instead of waiting it out.
+                        self.cancel.check()?;
+                        self.absorb_inbox()?;
+                        self.service_pending_join_steals()?;
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(2).min(deadline - now));
                     }
-                    std::thread::sleep(Duration::from_millis(2).min(deadline - now));
                 }
+                Fault::Panic => panic!(
+                    "injected fault: machine {} panics in segment {segment}",
+                    self.machine
+                ),
+                // Point panics fire from `maybe_panic_at` at their named
+                // sites; transport faults live in the router's lossy path.
+                Fault::PanicAt(_)
+                | Fault::DropBatch { .. }
+                | Fault::DuplicateBatch { .. }
+                | Fault::ReorderWindow { .. }
+                | Fault::SlowLink { .. } => {}
             }
-            Fault::Panic => panic!(
-                "injected fault: machine {} panics in segment {segment}",
-                self.machine
-            ),
         }
         Ok(())
+    }
+
+    /// Fires any [`Fault::PanicAt`] armed for this machine/segment/point.
+    fn maybe_panic_at(&self, segment: usize, point: PanicPoint) {
+        for spec in &self.config.fault_plan {
+            if spec.machine == self.machine
+                && spec.segment == segment
+                && spec.fault == Fault::PanicAt(point)
+            {
+                panic!(
+                    "injected fault: machine {} panics at {point:?} in segment {segment}",
+                    self.machine
+                );
+            }
+        }
     }
 
     /// Records the first time this machine touches segment `idx`.
@@ -556,6 +663,7 @@ impl MachineState {
         seg: &SegmentShared,
         sink: SinkMode,
     ) -> Result<SegmentChain> {
+        self.maybe_panic_at(plan.segment.id, PanicPoint::Build);
         let mut extends: Vec<PullExtend> = plan
             .segment
             .extends
@@ -625,6 +733,37 @@ impl MachineState {
     fn release_segment(&mut self, idx: usize, plan: &SegmentPlan, run: &RunShared) {
         self.broadcast_eos(plan);
         self.release_counter(idx, run);
+    }
+
+    /// The lossy-transport delivery barrier a shuffle producer runs before
+    /// announcing end-of-stream: every envelope this machine still owes the
+    /// segment's consumers (stashed behind a reorder/slow gate or awaiting
+    /// retransmit) must actually land first, or a consumer with full EOS
+    /// evidence would seal its build with rows still in flight.
+    fn flush_segment_transport(&mut self, plan: &SegmentPlan, run: &RunShared) -> Result<()> {
+        if !self.router.transport_enabled() || !matches!(plan.terminal, Terminal::FeedJoin { .. }) {
+            return Ok(());
+        }
+        let segment = plan.segment.id;
+        loop {
+            self.router
+                .flush_transport()
+                .map_err(EngineError::Transport)?;
+            if self.router.transport_pending(Some(segment)) == 0 {
+                return Ok(());
+            }
+            run.check_cancel()?;
+            if run.is_aborted() {
+                return Err(EngineError::Aborted(
+                    "transport flush interrupted by a failed peer machine".into(),
+                ));
+            }
+            // Retransmits respect their backoff due-times even under flush;
+            // absorb our own inbox (peers may be blocked on us) and park
+            // until the next retry comes due.
+            self.absorb_inbox()?;
+            self.router.wait_data(PARK_TIMEOUT);
+        }
     }
 
     /// Broadcasts this machine's `ControlMsg::Eos` for a shuffle-producing
@@ -707,6 +846,7 @@ impl MachineState {
         let mut chains: Vec<Option<SegmentChain>> = (0..n).map(|_| None).collect();
         let mut done = 0usize;
         while done < n {
+            run.check_cancel()?;
             if run.is_aborted() {
                 return Err(EngineError::Aborted("a peer machine failed".into()));
             }
@@ -770,6 +910,7 @@ impl MachineState {
                             states[idx] = SegmentState::Draining;
                             chains[idx] = Some(chain);
                         } else {
+                            self.flush_segment_transport(plan, run)?;
                             self.finish_chain(idx, &mut chain);
                             if self.broadcast_eos(plan) {
                                 states[idx] = SegmentState::Releasing;
@@ -804,6 +945,7 @@ impl MachineState {
                                 break;
                             }
                             StealOutcome::AllIdle => {
+                                self.flush_segment_transport(plan, run)?;
                                 self.finish_chain(idx, &mut chain);
                                 if self.broadcast_eos(plan) {
                                     states[idx] = SegmentState::Releasing;
@@ -844,6 +986,7 @@ impl MachineState {
         // held for them is released before the run tears down (the ack was
         // sent the moment the thief absorbed the ship, so this drains fast).
         while self.pending_ship_bytes > 0 && !run.is_aborted() {
+            run.check_cancel()?;
             self.absorb_inbox()?;
             if self.pending_ship_bytes == 0 {
                 break;
@@ -874,7 +1017,13 @@ impl MachineState {
     ) -> Result<()> {
         let seg = &run.segments[idx];
         let panic_guard = AbortOnPanic(run);
-        let result = self.run_segment_inner(idx, plan, seg, run, sink);
+        let mut result = self.run_segment_inner(idx, plan, seg, run, sink);
+        if result.is_ok() {
+            // Deliver everything still owed over the lossy transport before
+            // announcing end-of-stream (failed runs release regardless — the
+            // abort flag stops consumers from trusting the stream anyway).
+            result = self.flush_segment_transport(plan, run);
+        }
         if result.is_err() {
             run.abort();
         }
@@ -885,6 +1034,7 @@ impl MachineState {
         // drain. The machine parks on the router between sweeps.
         let linger = (|| -> Result<()> {
             while !seg.is_done() && !run.is_aborted() {
+                run.check_cancel()?;
                 self.absorb_inbox()?;
                 self.router.wait_data(PARK_TIMEOUT);
             }
@@ -935,6 +1085,9 @@ impl MachineState {
         run: &RunShared,
         sink: SinkMode,
     ) -> Result<()> {
+        if matches!(chain.source, ChainSource::Join(_)) {
+            self.maybe_panic_at(plan.segment.id, PanicPoint::Probe);
+        }
         let queues = Arc::clone(&seg.queues[self.machine]);
         let num_extends = chain.extends.len();
         // Operator indices: 0 = source, 1..=num_extends = extends,
@@ -942,6 +1095,9 @@ impl MachineState {
         let terminal_idx = num_extends + 1;
         let mut current = 0usize;
         loop {
+            // The per-batch cancellation poll: one atomic load per
+            // scheduling step bounds how long a cancel can go unobserved.
+            run.check_cancel()?;
             // Keep the streaming shuffle flowing: route anything that peers
             // pushed at us into its pending joiner before scheduling.
             if self.router.has_data() {
@@ -1179,6 +1335,7 @@ impl MachineState {
                 StealOutcome::Stole => continue,
                 StealOutcome::AllIdle => return Ok(()),
                 StealOutcome::Pending => {
+                    run.check_cancel()?;
                     self.absorb_inbox()?;
                     self.router.wait_data(PARK_TIMEOUT);
                 }
@@ -1225,13 +1382,21 @@ impl MachineState {
         left: Vec<VertexId>,
         right: Vec<VertexId>,
     ) {
+        self.maybe_panic_at(segment, PanicPoint::Ship);
         let bytes = ((left.len() + right.len()) * std::mem::size_of::<VertexId>()) as u64;
+        let ship_id = self.next_ship_id;
+        self.next_ship_id += 1;
         self.pending_ship_bytes += bytes;
-        self.router.send_control(
+        self.pending_ships.insert(ship_id, bytes);
+        // Ships ride the lossy path when the transport is armed: a dropped
+        // envelope is retransmitted from the control-retry ledger and a
+        // duplicated one is deduplicated by the thief on `(victim, ship_id)`.
+        self.router.send_control_lossy(
             thief,
             ControlMsg::PartitionShip {
                 segment,
                 partition,
+                ship_id,
                 bytes,
                 left: encode_rows(&left),
                 right: encode_rows(&right),
@@ -1440,6 +1605,7 @@ impl MachineState {
             self.memory.release(self.pending_ship_bytes);
             self.pending_ship_bytes = 0;
         }
+        self.pending_ships.clear();
         self.steal_requests.clear();
     }
 }

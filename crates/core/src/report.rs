@@ -113,6 +113,23 @@ impl GovernorReport {
     }
 }
 
+/// How a run ended. [`RunOutcome::Completed`] is the only outcome whose
+/// `matches` is the query's answer; the early-exit outcomes ride inside the
+/// matching [`EngineError`](crate::EngineError) variant and carry whatever
+/// partial stats the machines had accumulated when they unwound.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The run finished normally.
+    #[default]
+    Completed,
+    /// The run was cancelled through its
+    /// [`CancelToken`](crate::cancel::CancelToken).
+    Cancelled,
+    /// The run outlived
+    /// [`ClusterConfig::deadline`](crate::config::ClusterConfig).
+    DeadlineExceeded,
+}
+
 /// The result of running one query on the cluster.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
@@ -154,6 +171,17 @@ pub struct RunReport {
     pub join: JoinReport,
     /// Per-machine breakdowns.
     pub machines: Vec<MachineReport>,
+    /// How the run ended ([`RunOutcome::Completed`] unless the report rides
+    /// inside a `Cancelled`/`DeadlineExceeded` error).
+    pub outcome: RunOutcome,
+    /// Tracked intermediate-result bytes still allocated after the
+    /// teardown sweep (queues drained, inboxes drained, joins dropped).
+    /// Non-zero means an accounting leak — the chaos harness asserts zero.
+    pub leaked_bytes: u64,
+    /// Spill files left under the run's spill directory after teardown,
+    /// counted just before the directory is removed. Non-zero means a
+    /// `Drop` path missed a file — the chaos harness asserts zero.
+    pub orphaned_spill_files: u64,
 }
 
 impl RunReport {

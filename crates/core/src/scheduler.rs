@@ -281,16 +281,28 @@ pub struct RunShared {
     /// will never make progress. Under pipelined execution an abort fails the
     /// *whole run*, not one segment.
     pub aborted: AtomicBool,
+    /// The run's cooperative cancellation token (explicit cancel and the
+    /// configured deadline). Machines poll it at batch granularity alongside
+    /// the abort flag; unlike an abort, a fired token makes each machine
+    /// unwind with a typed `Cancelled`/`DeadlineExceeded` error.
+    pub cancel: crate::cancel::CancelToken,
 }
 
 impl RunShared {
     /// Builds the run state for `segments` segment slots (the per-segment
     /// contents are supplied by the cluster, which knows pools and queues).
-    pub fn new(segments: Vec<SegmentShared>) -> Self {
+    pub fn new(segments: Vec<SegmentShared>, cancel: crate::cancel::CancelToken) -> Self {
         RunShared {
             segments,
             aborted: AtomicBool::new(false),
+            cancel,
         }
+    }
+
+    /// Polls the cancellation token, surfacing the typed error once it
+    /// fires. The single check every cooperative loop runs per batch.
+    pub fn check_cancel(&self) -> crate::Result<()> {
+        self.cancel.check()
     }
 
     /// Flags the run as failed.
@@ -447,7 +459,10 @@ mod tests {
             idle: vec![AtomicBool::new(false), AtomicBool::new(false)],
             remaining: AtomicUsize::new(remaining),
         };
-        let run = RunShared::new(vec![seg(0), seg(2), seg(2)]);
+        let run = RunShared::new(
+            vec![seg(0), seg(2), seg(2)],
+            crate::cancel::CancelToken::new(),
+        );
         // Scan segments (no dependencies) are always ready.
         assert!(run.ready(&[]));
         // A join is ready only once every producer is globally done.
