@@ -34,7 +34,7 @@ pub use kv::ExternalKvStore;
 pub use network::NetworkModel;
 pub use router::{
     ControlEnvelope, ControlMsg, LinkFault, LinkFaultKind, PushEnvelope, QueueAccounting, Router,
-    RouterEndpoint, TransportConfig,
+    RouterEndpoint, RouterTrace, TransportConfig,
 };
 pub use rpc::RpcFabric;
 pub use stats::{ClusterStats, CommStats};

@@ -19,6 +19,53 @@ use std::time::{Duration, Instant};
 use crate::batch::RowBatch;
 use crate::stats::ClusterStats;
 use crate::MachineId;
+use huge_trace::{Counter, Registry};
+
+/// Router-level flight-recorder counters, shared by every endpoint of one
+/// run. Registered once against the run's metrics registry and incremented
+/// with relaxed atomic adds next to the existing [`ClusterStats`] sites, so
+/// they are live in every trace mode.
+#[derive(Clone)]
+pub struct RouterTrace {
+    /// Cross-machine data batches accepted by a destination inbox.
+    pub batches_pushed: Arc<Counter>,
+    /// Bytes carried by those batches.
+    pub bytes_pushed: Arc<Counter>,
+    /// Producer waits caused by a full destination inbox.
+    pub backpressure_waits: Arc<Counter>,
+    /// Successful retransmits on the lossy transport (data + control).
+    pub retransmits: Arc<Counter>,
+    /// Cross-machine control messages sent.
+    pub control_messages: Arc<Counter>,
+}
+
+impl RouterTrace {
+    /// Registers the router's metric family on `registry`.
+    pub fn register(registry: &Registry) -> RouterTrace {
+        RouterTrace {
+            batches_pushed: registry.counter(
+                "huge_router_batches_pushed_total",
+                "Cross-machine data batches accepted by a destination inbox",
+            ),
+            bytes_pushed: registry.counter(
+                "huge_router_bytes_pushed_total",
+                "Bytes carried by cross-machine data batches",
+            ),
+            backpressure_waits: registry.counter(
+                "huge_router_backpressure_waits_total",
+                "Producer waits on a full destination inbox",
+            ),
+            retransmits: registry.counter(
+                "huge_router_retransmits_total",
+                "Successful retransmits on the lossy transport",
+            ),
+            control_messages: registry.counter(
+                "huge_router_control_messages_total",
+                "Cross-machine control-plane messages sent",
+            ),
+        }
+    }
+}
 
 /// A pushed message: a batch of partial results destined for a segment's
 /// inbound channel on some machine.
@@ -547,6 +594,7 @@ pub struct Router {
     inboxes: Vec<Arc<Inbox>>,
     stats: ClusterStats,
     transport: Option<Arc<Transport>>,
+    trace: Option<RouterTrace>,
 }
 
 impl Router {
@@ -564,7 +612,14 @@ impl Router {
                 .collect(),
             stats,
             transport: None,
+            trace: None,
         }
+    }
+
+    /// Attaches the flight-recorder counter family. Call before handing out
+    /// endpoints; endpoints minted earlier keep recording nothing.
+    pub fn set_trace(&mut self, trace: RouterTrace) {
+        self.trace = Some(trace);
     }
 
     /// Switches cross-machine data envelopes (and `PartitionShip` control
@@ -593,6 +648,7 @@ impl Router {
             inboxes: self.inboxes.clone(),
             stats: self.stats.clone(),
             transport: self.transport.clone(),
+            trace: self.trace.clone(),
         }
     }
 }
@@ -605,6 +661,7 @@ pub struct RouterEndpoint {
     inboxes: Vec<Arc<Inbox>>,
     stats: ClusterStats,
     transport: Option<Arc<Transport>>,
+    trace: Option<RouterTrace>,
 }
 
 impl RouterEndpoint {
@@ -641,6 +698,9 @@ impl RouterEndpoint {
                 Ok(()) => return,
                 Err(back) => {
                     pending = back;
+                    if let Some(trace) = &self.trace {
+                        trace.backpressure_waits.inc();
+                    }
                     let _ = self.pump_transport();
                     self.inboxes[to].wait_space(Duration::from_millis(1));
                 }
@@ -670,6 +730,10 @@ impl RouterEndpoint {
                 // Charge only accepted pushes (rejected attempts move no data).
                 if to != self.machine {
                     self.stats.machine(self.machine).record_push(bytes);
+                    if let Some(trace) = &self.trace {
+                        trace.batches_pushed.inc();
+                        trace.bytes_pushed.add(bytes);
+                    }
                 }
                 Ok(())
             }
@@ -782,6 +846,10 @@ impl RouterEndpoint {
         match self.inboxes[to].push(env, false) {
             Accept::Ok => {
                 self.stats.machine(from).record_push(bytes);
+                if let Some(trace) = &self.trace {
+                    trace.batches_pushed.inc();
+                    trace.bytes_pushed.add(bytes);
+                }
                 if let Some(copy) = copy {
                     // The injected duplicate: the receiver's dedup takes it.
                     self.stats.machine(from).record_transport_dup();
@@ -891,7 +959,12 @@ impl RouterEndpoint {
                 ));
             }
             match self.deliver_data(t, e.to, e.env, e.attempts) {
-                Deliver::Delivered => self.stats.machine(self.machine).record_retransmit(),
+                Deliver::Delivered => {
+                    self.stats.machine(self.machine).record_retransmit();
+                    if let Some(trace) = &self.trace {
+                        trace.retransmits.inc();
+                    }
+                }
                 Deliver::Stale => {}
                 Deliver::Dropped(env) => {
                     e.env = env;
@@ -930,6 +1003,9 @@ impl RouterEndpoint {
                 s.ctl_retry.push_back(e);
             } else {
                 self.stats.machine(self.machine).record_retransmit();
+                if let Some(trace) = &self.trace {
+                    trace.retransmits.inc();
+                }
                 self.send_control(e.to, e.msg);
             }
         }
@@ -1007,6 +1083,9 @@ impl RouterEndpoint {
             self.stats
                 .machine(self.machine)
                 .record_push(msg.byte_size());
+            if let Some(trace) = &self.trace {
+                trace.control_messages.inc();
+            }
         }
         self.inboxes[to].push_control(ControlEnvelope {
             from: self.machine,
@@ -1094,6 +1173,9 @@ impl RouterEndpoint {
 
     /// Parks until machine `to`'s inbox has room (or `timeout` elapses).
     pub fn wait_space(&self, to: MachineId, timeout: Duration) {
+        if let Some(trace) = &self.trace {
+            trace.backpressure_waits.inc();
+        }
         self.inboxes[to].wait_space(timeout)
     }
 

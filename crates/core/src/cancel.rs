@@ -38,6 +38,10 @@ struct Inner {
     state: AtomicU8,
     /// Deadline as nanoseconds past `epoch`; `u64::MAX` = no deadline.
     deadline_nanos: AtomicU64,
+    /// When the winning cause fired, nanoseconds past `epoch` plus one
+    /// (0 = not fired). Stamped exactly once, by the CAS winner, so the
+    /// flight recorder can place the cancellation on the run timeline.
+    fired_nanos: AtomicU64,
     /// Reference instant the deadline is measured from.
     epoch: Instant,
 }
@@ -72,6 +76,7 @@ impl CancelToken {
             inner: Arc::new(Inner {
                 state: AtomicU8::new(LIVE),
                 deadline_nanos: AtomicU64::new(u64::MAX),
+                fired_nanos: AtomicU64::new(0),
                 epoch: Instant::now(),
             }),
         }
@@ -93,10 +98,32 @@ impl CancelToken {
     /// Requests cancellation. Idempotent; loses to an already-fired
     /// deadline (the first cause wins).
     pub fn cancel(&self) {
-        let _ =
-            self.inner
-                .state
-                .compare_exchange(LIVE, CANCELLED, Ordering::AcqRel, Ordering::Acquire);
+        if self
+            .inner
+            .state
+            .compare_exchange(LIVE, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.stamp_fired();
+        }
+    }
+
+    fn stamp_fired(&self) {
+        let nanos = (self.inner.epoch.elapsed().as_nanos() as u64).saturating_add(1);
+        self.inner.fired_nanos.store(nanos, Ordering::Release);
+    }
+
+    /// When the winning cause fired, or `None` while the token is live. The
+    /// cluster uses this to place the cancellation/deadline instant on the
+    /// flight-recorder timeline at its true wall-clock position.
+    pub fn fired_at(&self) -> Option<Instant> {
+        match self.inner.fired_nanos.load(Ordering::Acquire) {
+            0 => None,
+            nanos => self
+                .inner
+                .epoch
+                .checked_add(Duration::from_nanos(nanos - 1)),
+        }
     }
 
     /// Why the token fired, or `None` while it is still live. Polling here
@@ -109,12 +136,14 @@ impl CancelToken {
                 let deadline = self.inner.deadline_nanos.load(Ordering::Acquire);
                 if deadline != u64::MAX && self.inner.epoch.elapsed().as_nanos() as u64 >= deadline
                 {
-                    let _ = self.inner.state.compare_exchange(
-                        LIVE,
-                        DEADLINE,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    );
+                    if self
+                        .inner
+                        .state
+                        .compare_exchange(LIVE, DEADLINE, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.stamp_fired();
+                    }
                     self.cause_fast()
                 } else {
                     None
@@ -159,6 +188,7 @@ mod tests {
         assert!(t.cause().is_none());
         assert!(!t.is_cancelled());
         assert!(t.check().is_ok());
+        assert!(t.fired_at().is_none());
     }
 
     #[test]
@@ -166,7 +196,9 @@ mod tests {
         let t = CancelToken::new();
         let clone = t.clone();
         t.cancel();
+        let fired = clone.fired_at().expect("winner stamps the fire instant");
         t.cancel(); // idempotent
+        assert_eq!(clone.fired_at(), Some(fired));
         assert_eq!(clone.cause(), Some(CancelCause::Cancelled));
         assert!(matches!(
             clone.check(),

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use huge_comm::stats::ClusterStats;
-use huge_comm::{LinkFault, LinkFaultKind, Router, RpcFabric, TransportConfig};
+use huge_comm::{LinkFault, LinkFaultKind, Router, RouterTrace, RpcFabric, TransportConfig};
 use huge_graph::{Graph, GraphStats, Partitioner};
 use huge_plan::baselines::{plug_into_huge, BaselineSystem};
 use huge_plan::cost::{CostModel, HybridEstimator};
@@ -14,8 +14,9 @@ use huge_plan::logical::ExecutionPlan;
 use huge_plan::optimizer::{Optimizer, OptimizerOptions};
 use huge_plan::translate::{translate, Dataflow, SegmentSource};
 use huge_query::QueryGraph;
+use huge_trace::{kv, Recorder, TraceMode};
 
-use crate::cancel::CancelToken;
+use crate::cancel::{CancelCause, CancelToken};
 use crate::config::{ClusterConfig, Fault, SinkMode};
 use crate::governor::MemoryGovernor;
 use crate::machine::{MachineState, SegmentPlan, Terminal};
@@ -155,6 +156,11 @@ impl HugeCluster {
             cancel.arm_deadline(deadline);
         }
         let k = self.config.machines;
+        // The run's flight recorder owns the shared clock (t=0 on every
+        // track), the span gate and the metrics registry. It exists in every
+        // mode — counters and per-segment aggregates are always collected;
+        // span rings only record in `TraceMode::Full`.
+        let recorder = Recorder::new(self.config.tracing);
         let comm_stats = ClusterStats::new(k);
         // Bounded, event-driven router: producers see backpressure when a
         // destination inbox fills; consumers park on it instead of spinning.
@@ -186,6 +192,10 @@ impl HugeCluster {
                 ..TransportConfig::default()
             });
         }
+        // The router's counter pack is cluster-wide (endpoints are cloned and
+        // shared across threads); it must be installed before any endpoint is
+        // minted below.
+        router.set_trace(RouterTrace::register(recorder.registry()));
         let router = router;
         let rpc = RpcFabric::new(Arc::clone(&self.partitions), comm_stats.clone());
         let cache_bytes = self.config.effective_cache_bytes(self.stats.csr_bytes);
@@ -196,7 +206,12 @@ impl HugeCluster {
         // through shared handles (a no-op unless a budget is configured).
         let trackers: Vec<Arc<MemoryTracker>> =
             (0..k).map(|_| Arc::new(MemoryTracker::new())).collect();
-        let governor = MemoryGovernor::new(&self.config, &trackers, router.endpoint(0));
+        let governor = MemoryGovernor::new(
+            &self.config,
+            &trackers,
+            router.endpoint(0),
+            recorder.registry(),
+        );
 
         // Per-machine state, persisted across segments.
         let mut machines: Vec<MachineState> = (0..k)
@@ -222,9 +237,12 @@ impl HugeCluster {
         // then pre-instantiate every join segment's PUSH-JOIN on each machine
         // so shuffled inputs stream into the builds as they arrive.
         let segment_plans = build_segment_plans(dataflow);
-        let epoch = Instant::now();
-        for state in machines.iter_mut() {
-            state.prepare_run(&segment_plans, epoch, cancel.clone());
+        for (m, state) in machines.iter_mut().enumerate() {
+            // One flight-recorder track per machine thread, with a per-run
+            // aggregate slot for every segment. The single-writer ring moves
+            // into the machine; the recorder keeps the read side.
+            let trace = recorder.ring(m as u32, format!("machine-{m}"), segment_plans.len());
+            state.prepare_run(&segment_plans, trace, cancel.clone());
         }
 
         // Pre-build every segment's cross-machine state (stealable scan
@@ -262,7 +280,7 @@ impl HugeCluster {
                 }
             })
             .collect();
-        let run_shared = RunShared::new(shared_segments, cancel);
+        let run_shared = RunShared::new(shared_segments, cancel.clone());
 
         let threads_spawned = AtomicUsize::new(0);
         let start = Instant::now();
@@ -357,6 +375,15 @@ impl HugeCluster {
             Some(EngineError::Cancelled(_)) => RunOutcome::Cancelled,
             Some(_) => RunOutcome::DeadlineExceeded,
         };
+        // Place the cancellation/deadline on the timeline at the instant the
+        // token's winning CAS actually fired, not at teardown time.
+        if let Some(fired) = cancel.fired_at() {
+            let name = match cancel.cause() {
+                Some(CancelCause::DeadlineExceeded) => "deadline_exceeded",
+                _ => "cancelled",
+            };
+            recorder.global_instant(name, recorder.micros_at(fired), kv("machines", k as u64));
+        }
 
         // Aggregate the report.
         let comm_total = comm_stats.total();
@@ -385,6 +412,64 @@ impl HugeCluster {
         for m in &machine_reports {
             join.merge(&m.join);
         }
+        let governor_report = governor.report(peak_memory_bytes);
+
+        // Flight-recorder export. The rings were drained by their owning
+        // machine threads, which have all joined above, so the snapshot is
+        // safe. Run-level outcomes are folded into the registry here (the
+        // live counters — router, governor — accumulated during the run).
+        let (trace, metrics) = if recorder.mode() == TraceMode::Off {
+            (None, None)
+        } else {
+            let reg = recorder.registry();
+            reg.counter("huge_matches_total", "Matches counted by the sinks")
+                .add(matches);
+            reg.counter(
+                "huge_steal_batches_total",
+                "Batches obtained through inter-machine scan stealing",
+            )
+            .add(machine_reports.iter().map(|m| m.batches_stolen).sum());
+            reg.counter(
+                "huge_join_partitions_shipped_total",
+                "Grace partitions shipped to thieves (victim side)",
+            )
+            .add(join.partitions_shipped);
+            reg.counter(
+                "huge_join_partitions_stolen_total",
+                "Grace partitions adopted and probed by thieves",
+            )
+            .add(join.partitions_stolen);
+            reg.counter(
+                "huge_join_speculative_seals_total",
+                "Join segments sealed on EOS evidence ahead of the counters",
+            )
+            .add(join.speculative_seals);
+            reg.counter(
+                "huge_spill_bytes_total",
+                "Join build bytes spilled to disk under Red pressure",
+            )
+            .add(
+                governor_report
+                    .as_ref()
+                    .map(|g| g.spilled_bytes)
+                    .unwrap_or(0),
+            );
+            let compute_ms = reg.histogram(
+                "huge_machine_compute_ms",
+                "Per-machine active compute time per run (milliseconds)",
+                &[1, 5, 10, 50, 100, 500, 1000, 5000, 10000],
+            );
+            for m in &machine_reports {
+                compute_ms.observe(m.compute_time.as_millis() as u64);
+            }
+            let timeline = recorder.timeline();
+            let mut summary = timeline.summary();
+            summary.segments = recorder.segment_breakdown();
+            if recorder.mode() == TraceMode::Full {
+                summary.chrome_json = Some(timeline.chrome_json());
+            }
+            (Some(summary), Some(reg.prometheus_text()))
+        };
 
         let report = RunReport {
             query: dataflow.query.name().to_string(),
@@ -399,12 +484,14 @@ impl HugeCluster {
             fetch_time,
             pipelined: self.config.pipeline_segments,
             machine_threads_spawned: threads_spawned.load(Ordering::Relaxed),
-            governor: governor.report(peak_memory_bytes),
+            governor: governor_report,
             join,
             machines: machine_reports,
             outcome,
             leaked_bytes,
             orphaned_spill_files,
+            trace,
+            metrics,
         };
         match run_err {
             None => Ok(report),

@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use huge_cache::CacheKind;
 use huge_comm::NetworkModel;
+use huge_trace::TraceConfig;
 
 /// How the results of a run are consumed by the `SINK` operator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -219,6 +220,11 @@ pub struct ClusterConfig {
     /// Budget fraction below which Red pressure drops back to Yellow
     /// (hysteresis: must be below [`ClusterConfig::governor_enter_red`]).
     pub governor_exit_red: f64,
+    /// Flight-recorder configuration: off (default), metrics-only, or full
+    /// span recording with timeline export. See
+    /// [`RunReport::trace`](crate::report::RunReport) and
+    /// [`RunReport::metrics`](crate::report::RunReport) for the outputs.
+    pub tracing: TraceConfig,
 }
 
 impl ClusterConfig {
@@ -252,6 +258,7 @@ impl ClusterConfig {
             governor_exit_yellow: 0.45,
             governor_enter_red: 0.85,
             governor_exit_red: 0.70,
+            tracing: TraceConfig::default(),
         }
     }
 
@@ -391,6 +398,13 @@ impl ClusterConfig {
     /// injected fault — useful to measure its overhead on a clean network.
     pub fn unreliable_transport(mut self, enabled: bool) -> Self {
         self.unreliable_transport = enabled;
+        self
+    }
+
+    /// Selects the flight-recorder capture level for each run (off by
+    /// default; see [`huge_trace::TraceMode`]).
+    pub fn tracing(mut self, tracing: TraceConfig) -> Self {
+        self.tracing = tracing;
         self
     }
 

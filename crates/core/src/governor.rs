@@ -41,6 +41,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use huge_comm::RouterEndpoint;
+use huge_trace::{Counter, Registry};
 
 use crate::config::ClusterConfig;
 use crate::memory::MemoryTracker;
@@ -80,8 +81,6 @@ struct MachineControl {
     level: AtomicU8,
     /// Effective row capacity shared by every `SharedQueue` of this machine.
     queue_capacity: Arc<AtomicUsize>,
-    transitions_to_yellow: AtomicU64,
-    transitions_to_red: AtomicU64,
     throttled_batches: AtomicU64,
     spilled_bytes: AtomicU64,
     shipped_bytes: AtomicU64,
@@ -106,16 +105,23 @@ pub struct MemoryGovernor {
     enter_red: f64,
     exit_red: f64,
     router: RouterEndpoint,
+    /// Ladder transitions, sourced from the run's flight-recorder registry
+    /// (one clock, one collection path — these also feed the Prometheus
+    /// snapshot and [`GovernorReport`]). Cluster-wide totals.
+    transitions_yellow: Arc<Counter>,
+    transitions_red: Arc<Counter>,
 }
 
 impl MemoryGovernor {
     /// Builds the governor for one run over the machines' trackers. The
     /// router endpoint (any machine's) is the handle through which inbox
-    /// capacities are adjusted.
+    /// capacities are adjusted; `registry` is the run's flight-recorder
+    /// metrics registry, on which the ladder-transition counters live.
     pub fn new(
         config: &ClusterConfig,
         trackers: &[Arc<MemoryTracker>],
         router: RouterEndpoint,
+        registry: &Registry,
     ) -> Arc<Self> {
         let output_queue_rows = config.output_queue_rows.max(1);
         let machines = trackers
@@ -124,8 +130,6 @@ impl MemoryGovernor {
                 tracker: Arc::clone(tracker),
                 level: AtomicU8::new(0),
                 queue_capacity: Arc::new(AtomicUsize::new(output_queue_rows)),
-                transitions_to_yellow: AtomicU64::new(0),
-                transitions_to_red: AtomicU64::new(0),
                 throttled_batches: AtomicU64::new(0),
                 spilled_bytes: AtomicU64::new(0),
                 shipped_bytes: AtomicU64::new(0),
@@ -143,6 +147,14 @@ impl MemoryGovernor {
             enter_red: config.governor_enter_red,
             exit_red: config.governor_exit_red,
             router,
+            transitions_yellow: registry.counter(
+                "huge_governor_transitions_yellow_total",
+                "Pressure-ladder transitions into Yellow, cluster-wide",
+            ),
+            transitions_red: registry.counter(
+                "huge_governor_transitions_red_total",
+                "Pressure-ladder transitions into Red, cluster-wide",
+            ),
         })
     }
 
@@ -220,12 +232,8 @@ impl MemoryGovernor {
         if new != old {
             ctl.level.store(new as u8, Ordering::Relaxed);
             match new {
-                PressureLevel::Yellow => {
-                    ctl.transitions_to_yellow.fetch_add(1, Ordering::Relaxed);
-                }
-                PressureLevel::Red => {
-                    ctl.transitions_to_red.fetch_add(1, Ordering::Relaxed);
-                }
+                PressureLevel::Yellow => self.transitions_yellow.inc(),
+                PressureLevel::Red => self.transitions_red.inc(),
                 PressureLevel::Green => {}
             }
             self.apply_capacities(m, new);
@@ -307,8 +315,8 @@ impl MemoryGovernor {
                 .global_budget
                 .unwrap_or(machine_budget * self.machines.len() as u64),
             machine_budget_bytes: machine_budget,
-            transitions_to_yellow: sum(|c| &c.transitions_to_yellow),
-            transitions_to_red: sum(|c| &c.transitions_to_red),
+            transitions_to_yellow: self.transitions_yellow.get(),
+            transitions_to_red: self.transitions_red.get(),
             throttled_batches: sum(|c| &c.throttled_batches),
             spilled_bytes: sum(|c| &c.spilled_bytes),
             shipped_bytes: sum(|c| &c.shipped_bytes),
@@ -335,7 +343,8 @@ mod tests {
         let router = Router::with_capacity(k, stats, config.router_queue_rows);
         let trackers: Vec<Arc<MemoryTracker>> =
             (0..k).map(|_| Arc::new(MemoryTracker::new())).collect();
-        let governor = MemoryGovernor::new(config, &trackers, router.endpoint(0));
+        let registry = Registry::new();
+        let governor = MemoryGovernor::new(config, &trackers, router.endpoint(0), &registry);
         (governor, trackers, router)
     }
 

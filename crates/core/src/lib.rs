@@ -56,6 +56,7 @@ pub use cluster::HugeCluster;
 pub use config::{ClusterConfig, Fault, FaultSpec, LoadBalance, PanicPoint, SinkMode};
 pub use exec::{BatchOperator, OpContext, OpPoll};
 pub use governor::{MemoryGovernor, PressureLevel};
+pub use huge_trace::{TraceConfig, TraceMode, TraceSegment, TraceSummary};
 pub use report::{GovernorReport, JoinReport, MachineReport, RunOutcome, RunReport};
 
 /// Errors surfaced by the engine.

@@ -32,6 +32,7 @@ use huge_comm::{ColBatch, ControlMsg, MachineId, RouterEndpoint, RpcFabric};
 use huge_graph::{GraphPartition, VertexId};
 use huge_plan::translate::{Segment, SegmentSource};
 use huge_query::QueryVertex;
+use huge_trace::{kv, kv2, SpanId, TraceBuf};
 use std::sync::Arc;
 
 use crate::cancel::CancelToken;
@@ -199,13 +200,16 @@ pub struct MachineState {
     pub compute_time: Duration,
     /// Batches obtained through inter-machine stealing.
     pub batches_stolen: u64,
-    /// Active execution time per segment (indexed by segment id).
-    segment_busy: Vec<Duration>,
-    /// First-activity and completion offsets of each segment relative to the
-    /// run epoch (`None` until the machine starts the segment).
-    segment_spans: Vec<Option<(Duration, Duration)>>,
-    /// The shared instant all machines measure spans against.
-    run_epoch: Instant,
+    /// This machine's flight-recorder track: span/instant events when the
+    /// run records in [`TraceMode::Full`](huge_trace::TraceMode), and the
+    /// always-on per-segment busy/span aggregates the report is built from.
+    /// All machines stamp against the recorder's shared epoch.
+    trace: TraceBuf,
+    /// The governor level last observed by [`MachineState::governor_tick`],
+    /// so ladder transitions can be emitted as timeline instants from the
+    /// machine thread that witnessed them (the governor itself is passive —
+    /// it has no thread, hence no single-writer ring of its own).
+    last_level: PressureLevel,
     /// Pre-instantiated joiners for every `PUSH-JOIN` segment of the current
     /// run, keyed by the join segment's id. Shuffled inputs stream into them
     /// as they arrive (replacing the old consumer-side envelope stash).
@@ -277,9 +281,8 @@ impl MachineState {
             fetch_time: Duration::ZERO,
             compute_time: Duration::ZERO,
             batches_stolen: 0,
-            segment_busy: Vec::new(),
-            segment_spans: Vec::new(),
-            run_epoch: Instant::now(),
+            trace: TraceBuf::disabled(),
+            last_level: PressureLevel::Green,
             pending_joins: HashMap::new(),
             join_feeds: HashMap::new(),
             eos_seen: HashMap::new(),
@@ -297,12 +300,13 @@ impl MachineState {
 
     /// Prepares a run: instantiates one [`PushJoin`] per join segment and
     /// the envelope routing table, so inbound shuffle data can be absorbed
-    /// the moment it arrives — during the *producing* segment. `epoch` is
-    /// the shared instant per-segment spans are measured against.
-    pub fn prepare_run(&mut self, plans: &[SegmentPlan], epoch: Instant, cancel: CancelToken) {
-        self.run_epoch = epoch;
-        self.segment_busy = vec![Duration::ZERO; plans.len()];
-        self.segment_spans = vec![None; plans.len()];
+    /// the moment it arrives — during the *producing* segment. `trace` is
+    /// this machine's flight-recorder track, minted by the cluster's
+    /// [`Recorder`](huge_trace::Recorder) with one aggregate slot per
+    /// segment; its epoch is the shared instant all spans measure against.
+    pub fn prepare_run(&mut self, plans: &[SegmentPlan], trace: TraceBuf, cancel: CancelToken) {
+        self.trace = trace;
+        self.last_level = PressureLevel::Green;
         self.pending_joins.clear();
         self.join_feeds.clear();
         self.eos_seen.clear();
@@ -369,8 +373,8 @@ impl MachineState {
             peak_memory_bytes: self.memory.peak(),
             comm: self.rpc.stats().machine(self.machine).snapshot(),
             batches_stolen: self.batches_stolen,
-            segment_busy: self.segment_busy.clone(),
-            segment_spans: self.segment_spans.clone(),
+            segment_busy: self.trace.segment_busy(),
+            segment_spans: self.trace.segment_spans(),
             join: self.join_stats.clone(),
         }
     }
@@ -401,6 +405,17 @@ impl MachineState {
     /// current level so callers can tighten their own scheduling.
     fn governor_tick(&mut self) -> Result<PressureLevel> {
         let level = self.governor.tick(self.machine);
+        if level != self.last_level {
+            // Ladder transitions land on this machine's track: the governor
+            // is ticked from machine threads, so the machine that observed
+            // the change is the one that acts on it.
+            self.trace.instant(match level {
+                PressureLevel::Green => "governor: green",
+                PressureLevel::Yellow => "governor: yellow",
+                PressureLevel::Red => "governor: red",
+            });
+            self.last_level = level;
+        }
         if level == PressureLevel::Red {
             let mut spilled = 0u64;
             for join in self.pending_joins.values_mut() {
@@ -542,9 +557,18 @@ impl MachineState {
     ) -> Result<()> {
         let mut pending = batch;
         let mut throttle_counted = false;
+        // The span opens on the first bounce only, so an uncontended push
+        // records nothing; an error mid-wait leaves it open and the timeline
+        // closes it at the track's end (the wait really did last that long).
+        let mut bp_span = SpanId::NONE;
         loop {
             match self.router.try_push(dest, segment, pending) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    if !bp_span.is_none() {
+                        self.trace.exit_kv(bp_span, kv("dest", dest as u64));
+                    }
+                    return Ok(());
+                }
                 Err(back) => {
                     run.check_cancel()?;
                     if run.is_aborted() {
@@ -560,6 +584,11 @@ impl MachineState {
                     if !throttle_counted && self.governor.is_throttling(dest) {
                         self.governor.record_throttled(dest);
                         throttle_counted = true;
+                    }
+                    if bp_span.is_none() {
+                        bp_span = self
+                            .trace
+                            .enter_kv("backpressure", kv("segment", segment as u64));
                     }
                     pending = back;
                     self.absorb_inbox()?;
@@ -589,6 +618,10 @@ impl MachineState {
         for fault in faults {
             match fault {
                 Fault::Delay(total) => {
+                    let span = self.trace.enter_kv(
+                        "fault_delay",
+                        kv2("segment", segment as u64, "ms", total.as_millis() as u64),
+                    );
                     let deadline = Instant::now() + total;
                     loop {
                         // A stalled machine still honours cancellation: the
@@ -603,6 +636,7 @@ impl MachineState {
                         }
                         std::thread::sleep(Duration::from_millis(2).min(deadline - now));
                     }
+                    self.trace.exit(span);
                 }
                 Fault::Panic => panic!(
                     "injected fault: machine {} panics in segment {segment}",
@@ -637,19 +671,12 @@ impl MachineState {
 
     /// Records the first time this machine touches segment `idx`.
     fn note_segment_start(&mut self, idx: usize) {
-        if let Some(slot) = self.segment_spans.get_mut(idx) {
-            if slot.is_none() {
-                let now = self.run_epoch.elapsed();
-                *slot = Some((now, now));
-            }
-        }
+        self.trace.seg_mark_start(idx);
     }
 
     /// Accumulates active time spent on segment `idx`.
     fn record_segment_busy(&mut self, idx: usize, elapsed: Duration) {
-        if let Some(busy) = self.segment_busy.get_mut(idx) {
-            *busy += elapsed;
-        }
+        self.trace.seg_add_busy(idx, elapsed);
         self.compute_time += elapsed;
     }
 
@@ -712,11 +739,10 @@ impl MachineState {
             }
             self.matches += ext.take_count();
         }
-        if let Some(span) = self.segment_spans.get_mut(idx) {
-            let end = self.run_epoch.elapsed();
-            let start = span.map(|(s, _)| s).unwrap_or(end);
-            *span = Some((start, end));
-        }
+        // Completion stamps over the start mark if the chain was built
+        // without ever noting a start (the aggregate clamps end >= start).
+        self.trace.seg_mark_start(idx);
+        self.trace.seg_mark_end(idx);
     }
 
     /// Releases this machine's end-of-stream slot for segment `idx` and
@@ -893,6 +919,8 @@ impl MachineState {
                             // even though the release counters still lag.
                             self.spec_pending.insert(idx, Instant::now());
                             self.join_stats.speculative_seals += 1;
+                            self.trace
+                                .instant_kv("speculative_seal", kv("segment", idx as u64));
                         }
                         states[idx] = SegmentState::Running;
                         let start = Instant::now();
@@ -979,7 +1007,9 @@ impl MachineState {
                 // Nothing runnable: park on the inbox (absorbing whatever
                 // arrives) until a peer finishes a segment or pushes data.
                 self.absorb_inbox()?;
+                let span = self.trace.enter("park");
                 self.router.wait_data(PARK_TIMEOUT);
+                self.trace.exit(span);
             }
         }
         // Wait for thieves to ack in-flight partition ships so the charge
@@ -1077,7 +1107,25 @@ impl MachineState {
 
     /// The BFS/DFS-adaptive scheduling loop (Algorithm 5) over this
     /// segment's operator chain: source (scan or join), extends, terminal.
+    /// Each invocation is one `chain` span on the machine's track (a
+    /// draining segment re-enters here per stolen batch or adoption).
     fn run_chain(
+        &mut self,
+        chain: &mut SegmentChain,
+        plan: &SegmentPlan,
+        seg: &SegmentShared,
+        run: &RunShared,
+        sink: SinkMode,
+    ) -> Result<()> {
+        let span = self
+            .trace
+            .enter_kv("chain", kv("segment", plan.segment.id as u64));
+        let result = self.run_chain_inner(chain, plan, seg, run, sink);
+        self.trace.exit(span);
+        result
+    }
+
+    fn run_chain_inner(
         &mut self,
         chain: &mut SegmentChain,
         plan: &SegmentPlan,
@@ -1309,6 +1357,8 @@ impl MachineState {
             }
         }
         if stolen_any {
+            self.trace
+                .instant_kv("steal", kv("segment", plan.segment.id as u64));
             self.run_chain(chain, plan, seg, run, sink)?;
             return Ok(StealOutcome::Stole);
         }
@@ -1388,6 +1438,10 @@ impl MachineState {
         self.next_ship_id += 1;
         self.pending_ship_bytes += bytes;
         self.pending_ships.insert(ship_id, bytes);
+        self.trace.instant_kv(
+            "ship_partition",
+            kv2("segment", segment as u64, "bytes", bytes),
+        );
         // Ships ride the lossy path when the transport is armed: a dropped
         // envelope is retransmitted from the control-retry ledger and a
         // duplicated one is deduplicated by the thief on `(victim, ship_id)`.
@@ -1493,6 +1547,10 @@ impl MachineState {
                 return Ok(StealOutcome::Pending);
             }
             self.join_stats.partitions_stolen += 1;
+            self.trace.instant_kv(
+                "adopt_partition",
+                kv2("segment", segment as u64, "bytes", bytes),
+            );
             self.run_chain(chain, plan, seg, run, sink)?;
             return Ok(StealOutcome::Stole);
         }

@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use huge_cache::CacheStats;
 use huge_comm::stats::CommSnapshot;
+use huge_trace::TraceSummary;
 
 /// Per-machine measurements.
 #[derive(Clone, Debug, Default)]
@@ -182,6 +183,14 @@ pub struct RunReport {
     /// counted just before the directory is removed. Non-zero means a
     /// `Drop` path missed a file — the chaos harness asserts zero.
     pub orphaned_spill_files: u64,
+    /// Flight-recorder summary: span/instant counts, exact ring-overflow
+    /// drops, the per-segment busy/wait breakdown, and (in full-span mode)
+    /// the Chrome trace-event JSON export. `None` unless the run was
+    /// configured with [`TraceMode::Full`](huge_trace::TraceMode).
+    pub trace: Option<TraceSummary>,
+    /// Prometheus-text snapshot of the run's metrics registry. `None` when
+    /// tracing is off entirely.
+    pub metrics: Option<String>,
 }
 
 impl RunReport {
